@@ -1,0 +1,34 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one table or figure of the paper at the
+``small`` scale, asserts the qualitative *shape* the paper reports
+(who wins, by roughly what factor, where the crossovers fall), and
+writes the rendered artifact to ``benchmarks/results/``.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    return "small"
+
+
+def save_artifact(results_dir: Path, name: str, text: str) -> None:
+    (results_dir / name).write_text(text + "\n", encoding="utf-8")

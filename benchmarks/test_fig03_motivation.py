@@ -1,0 +1,38 @@
+"""Regenerate Figure 3: the motivation stall-breakdown study."""
+
+from repro.eval import experiments as ex
+from repro.types import geomean
+
+from .conftest import save_artifact
+
+
+def test_fig03_motivation(benchmark, results_dir, scale):
+    rows = benchmark.pedantic(
+        ex.fig03_motivation, args=(scale,), rounds=1, iterations=1)
+    save_artifact(results_dir, "fig03_motivation.txt",
+                  ex.render_fig03(rows))
+
+    def stall_fraction(host, workload, kind):
+        vals = [r[kind] for r in rows
+                if r["host"] == host and r["workload"] == workload]
+        return sum(vals) / len(vals)
+
+    # Paper shape 1: sparse workloads have low CPU utilization — most
+    # cycles are stalls on both hosts.
+    for host in ("a64fx", "graviton3"):
+        for workload in ("spmv", "spmspm", "spadd"):
+            commit = stall_fraction(host, workload, "committing")
+            assert commit < 0.55, (host, workload, commit)
+
+    # Paper shape 2: SpMV is backend-stall dominated.
+    assert stall_fraction("a64fx", "spmv", "backend") > 0.5
+    assert stall_fraction("graviton3", "spmv", "backend") > 0.5
+
+    # Paper shape 4: SpAdd suffers high frontend stalls, worst on the
+    # narrow-OoO A64FX-like host.
+    fe_a64 = stall_fraction("a64fx", "spadd", "frontend")
+    fe_g3 = stall_fraction("graviton3", "spadd", "frontend")
+    assert fe_a64 > 0.25
+    assert fe_a64 > fe_g3
+    # ... and far above SpMV's frontend share on the same host.
+    assert fe_a64 > 2 * stall_fraction("a64fx", "spmv", "frontend")

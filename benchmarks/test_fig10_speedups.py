@@ -1,0 +1,39 @@
+"""Regenerate Figure 10: TMU speedups over the software baselines."""
+
+from repro.eval import experiments as ex
+
+from .conftest import save_artifact
+
+
+def test_fig10_speedups(benchmark, results_dir, scale):
+    data = benchmark.pedantic(
+        ex.fig10_speedups, args=(scale,), rounds=1, iterations=1)
+    save_artifact(results_dir, "fig10_speedups.txt",
+                  ex.render_fig10(data))
+
+    geomeans = data["geomeans"]
+    categories = data["categories"]
+
+    # The TMU wins on every workload.
+    for workload, value in geomeans.items():
+        assert value > 1.0, (workload, value)
+
+    # Headline factors (paper: memory 3.58x, compute 2.82x, merge
+    # 4.94x) — the shape must hold within a factor-of-~1.6 band.
+    assert 2.2 < categories["memory"] < 5.5
+    assert 1.8 < categories["compute"] < 5.5
+    assert 3.0 < categories["merge"] < 8.0
+
+    # Merge-intensive kernels benefit the most (the paper's ordering).
+    assert categories["merge"] > categories["memory"]
+    assert categories["merge"] > categories["compute"]
+
+    # SpKAdd is the biggest single winner among matrix kernels, as in
+    # the paper (6.98x there).
+    assert geomeans["spkadd"] >= max(geomeans["spmv"],
+                                     geomeans["spmspm"])
+
+    # Per-input spread stays in a plausible band (paper: 1.58-6.98).
+    for workload, vals in data["per_workload"].items():
+        for input_id, speedup in vals.items():
+            assert 0.9 < speedup < 14.0, (workload, input_id, speedup)

@@ -1,0 +1,56 @@
+"""Regenerate Figure 11: cycle breakdowns and load-to-use latency."""
+
+import numpy as np
+
+from repro.eval import experiments as ex
+from repro.types import geomean
+
+from .conftest import save_artifact
+
+
+def test_fig11_breakdown(benchmark, results_dir, scale):
+    rows = benchmark.pedantic(
+        ex.fig11_breakdown, args=(scale,), rounds=1, iterations=1)
+    save_artifact(results_dir, "fig11_breakdown.txt",
+                  ex.render_fig11(rows))
+
+    def rows_of(workload, system):
+        return [r for r in rows
+                if r["workload"] == workload and r["system"] == system]
+
+    # Paper shape: the TMU drastically reduces backend stalls on the
+    # memory-intensive workloads.
+    for workload in ("spmv", "pr"):
+        be_base = np.mean([r["backend"] for r in rows_of(workload,
+                                                         "baseline")])
+        be_tmu = np.mean([r["backend"] for r in rows_of(workload,
+                                                        "tmu")])
+        l2u_base = geomean(
+            r["load_to_use"] for r in rows_of(workload, "baseline"))
+        l2u_tmu = geomean(
+            r["load_to_use"] for r in rows_of(workload, "tmu"))
+        # load-to-use drops sharply (paper: 67 -> 23 cycles on M1)
+        assert l2u_tmu < 0.8 * l2u_base, workload
+        assert be_base > 0.35, workload
+
+    # Frontend stalls are almost eliminated by the TMU everywhere
+    # (callback dispatch is predictable).
+    for workload in ("spmv", "spkadd", "tc"):
+        fe_tmu = np.mean([r["frontend"] for r in rows_of(workload,
+                                                         "tmu")])
+        assert fe_tmu < 0.05, workload
+
+    # Merge-intensive baselines pay heavy frontend costs the TMU
+    # removes (TC/SpKAdd in the paper).
+    for workload in ("spkadd", "tc"):
+        fe_base = np.mean([r["frontend"] for r in rows_of(workload,
+                                                          "baseline")])
+        fe_tmu = np.mean([r["frontend"] for r in rows_of(workload,
+                                                         "tmu")])
+        assert fe_base > 4 * fe_tmu, workload
+
+    # SpMSpM keeps a large committing share: it is compute-bound
+    # (Amdahl limits the TMU there, as the paper discusses).
+    commit_tmu = np.mean([r["committing"] for r in rows_of("spmspm",
+                                                           "tmu")])
+    assert commit_tmu > 0.3

@@ -1,0 +1,30 @@
+"""Regenerate Figure 13: the read-to-write ratio."""
+
+from repro.eval import experiments as ex
+
+from .conftest import save_artifact
+
+
+def test_fig13_read_to_write(benchmark, results_dir, scale):
+    data = benchmark.pedantic(
+        ex.fig13_read_to_write, args=(scale,), rounds=1, iterations=1)
+    save_artifact(results_dir, "fig13_read_to_write.txt",
+                  ex.render_fig13(data))
+
+    # Paper shape: the core outpaces the engine (<1) on TC (merging
+    # offloaded) and on SpMV/MTTKRP (regular SIMD compute)...
+    assert data["tc"] < 1.0
+    assert data["spmv"] < 1.0
+    assert data["pr"] < 1.0
+
+    # ...SpKAdd sits close to balanced...
+    assert 0.4 < data["spkadd"] < 2.5
+
+    # ...and SpMSpM / CP-ALS / (here also SpTC) are core-bound (>1),
+    # indicating the bottleneck is on the core's side.
+    assert data["spmspm"] > 1.0
+    assert data["cpals"] > 1.0
+
+    # TC is the most engine-lopsided workload of all (paper: lowest
+    # ratio in the figure).
+    assert data["tc"] == min(data.values())

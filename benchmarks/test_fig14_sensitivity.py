@@ -1,0 +1,48 @@
+"""Regenerate Figure 14: storage x SVE-width sensitivity heatmaps."""
+
+import numpy as np
+
+from repro.eval import experiments as ex
+from repro.eval.experiments import FIG14_STORAGE_KB, FIG14_SVE_BITS
+
+from .conftest import save_artifact
+
+
+def test_fig14_sensitivity(benchmark, results_dir, scale):
+    data = benchmark.pedantic(
+        ex.fig14_sensitivity, args=(scale,), rounds=1, iterations=1)
+    save_artifact(results_dir, "fig14_sensitivity.txt",
+                  ex.render_fig14(data))
+
+    spmv = data["spmv"]
+    spmspm = data["spmspm"]
+    i16 = FIG14_STORAGE_KB.index(16)
+    j512 = FIG14_SVE_BITS.index(512)
+    i4 = FIG14_STORAGE_KB.index(4)
+    j128 = FIG14_SVE_BITS.index(128)
+
+    # Reference cell is 1.0 by construction.
+    assert spmv[i16, j512] == 1.0
+    assert spmspm[i16, j512] == 1.0
+
+    # Paper shape: SpMV is storage-sensitive — shrinking the engine to
+    # 4 KB costs performance at the evaluated SVE width.
+    assert spmv[i4, j512] < 0.95
+
+    # Paper shape: SpMSpM is SVE-width-sensitive (the bottleneck is the
+    # core side, read-to-write ratio 1.68) ...
+    assert spmspm[i16, j128] < 0.85
+    # ... and storage-insensitive: the storage column barely moves it.
+    storage_swing = spmspm[:, j512].max() - spmspm[:, j512].min()
+    assert storage_swing < 0.1
+
+    # Width hurts SpMSpM more than it hurts SpMV's storage-fed regime.
+    spmv_width_swing = spmv[i16, j512] - spmv[i16, j128]
+    spmspm_width_swing = spmspm[i16, j512] - spmspm[i16, j128]
+    assert spmspm_width_swing >= spmv_width_swing * 0.9
+
+    # Monotonicity: more storage never hurts either workload.
+    for grid in (spmv, spmspm):
+        for j in range(grid.shape[1]):
+            col = grid[:, j]
+            assert np.all(np.diff(col) >= -1e-9)

@@ -1,0 +1,39 @@
+"""Regenerate Figure 15: IMP vs Single-Lane vs TMU."""
+
+from repro.eval import experiments as ex
+from repro.types import geomean
+
+from .conftest import save_artifact
+
+
+def test_fig15_state_of_the_art(benchmark, results_dir, scale):
+    data = benchmark.pedantic(
+        ex.fig15_state_of_the_art, args=(scale,), rounds=1, iterations=1)
+    save_artifact(results_dir, "fig15_sota.txt", ex.render_fig15(data))
+
+    spmv = data["spmv"]
+    spmspm = data["spmspm"]
+    geo = {
+        (wl, sys): geomean(inputs[i][sys] for i in inputs)
+        for wl, inputs in data.items()
+        for sys in ("imp", "single_lane", "tmu")
+    }
+
+    # Paper: TMU 3.32x / Single-Lane 1.59x / IMP 1.25x on SpMV.
+    assert geo[("spmv", "tmu")] > geo[("spmv", "single_lane")]
+    assert geo[("spmv", "single_lane")] > geo[("spmv", "imp")] * 0.95
+    assert 1.0 <= geo[("spmv", "imp")] < 1.8
+    assert 1.1 < geo[("spmv", "single_lane")] < 2.3
+    assert 2.3 < geo[("spmv", "tmu")] < 5.0
+
+    # Paper: IMP fails to deliver on SpMSpM (partial-result thrashing);
+    # Single-Lane 1.50x; TMU 2.82x.
+    assert geo[("spmspm", "imp")] <= 1.05
+    assert 1.0 < geo[("spmspm", "single_lane")] < 2.6
+    assert geo[("spmspm", "tmu")] > geo[("spmspm", "single_lane")]
+
+    # Per input, the TMU never loses to the single-lane engine.
+    for wl, inputs in data.items():
+        for input_id, systems in inputs.items():
+            assert systems["tmu"] >= systems["single_lane"] - 1e-9, (
+                wl, input_id)

@@ -1,0 +1,105 @@
+"""Authoring a new kernel on the TMU: sparse-dense SDDMM.
+
+The TMU's claim is *tensor-algebra completeness*: its primitives
+express kernels beyond the evaluated suite.  This example maps SDDMM
+(sampled dense-dense matrix multiplication,
+``Z_ij = S_ij * Σ_r U_ir V_jr`` — the attention/ALS workhorse) onto the
+engine from scratch:
+
+* layer 0 traverses the sampling matrix's rows (DnsFbrT over ptrs),
+  and a ``lin`` stream turns the row id into U's row base;
+* layer 1 traverses the sampled coordinates (RngFbrT), loading S's
+  value and turning each column id into V's row base;
+* layer 2 scans the rank dimension of U and V in lockstep (IdxFbrT),
+  marshaling aligned (u, v) element pairs;
+* the core multiplies-accumulates per pair and scales by S at each
+  fiber end.
+
+Run:  python examples/custom_kernel.py
+"""
+
+import numpy as np
+
+from repro.generators import uniform_random_matrix
+from repro.tmu import Event, LayerMode, Program, TmuEngine
+from repro.tmu.program import ScalarOperand
+
+rng = np.random.default_rng(3)
+RANK = 8
+sampling = uniform_random_matrix(32, 28, 3, seed=5)   # S (CSR)
+u = rng.random((32, RANK))                            # U
+v = rng.random((28, RANK))                            # V
+
+prog = Program("sddmm", lanes=2, max_layers=3)
+s_ptrs = prog.place_array(sampling.ptrs, 4, "S->ptrs")
+s_idxs = prog.place_array(sampling.idxs, 4, "S->idxs")
+s_vals = prog.place_array(sampling.vals, 8, "S->vals")
+u_flat = prog.place_array(np.ascontiguousarray(u.reshape(-1)), 8, "U")
+v_flat = prog.place_array(np.ascontiguousarray(v.reshape(-1)), 8, "V")
+
+# Layer 0: row traversal; lin turns row i into U's row base i*RANK.
+l0 = prog.add_layer(LayerMode.BCAST)
+row = l0.dns_fbrt(beg=0, end=sampling.num_rows)
+row_beg = row.add_mem_stream(s_ptrs, name="row_beg")
+row_end = row.add_mem_stream(s_ptrs, offset=1, name="row_end")
+u_base = row.add_lin_stream(RANK, 0, name="u_row_base")
+l0.set_volume_hint(sampling.num_rows)
+
+# Layer 1: sampled coordinates; lin turns column j into V's row base.
+l1 = prog.add_layer(LayerMode.BCAST)
+nz = l1.rng_fbrt(beg=row_beg, end=row_end)
+col = nz.add_mem_stream(s_idxs, name="j")
+s_val = nz.add_mem_stream(s_vals, name="s_val")
+v_base = nz.add_lin_stream(RANK, 0, parent=col, name="v_row_base")
+l1.add_callback(Event.GITE, "pair_begin", [ScalarOperand(s_val)])
+l1.set_volume_hint(sampling.nnz)
+
+# Layer 2: lockstep rank scan of U's row (lane 0) and V's row (lane 1).
+l2 = prog.add_layer(LayerMode.LOCKSTEP)
+u_tu = l2.idx_fbrt(beg=u_base, size=RANK)
+u_el = u_tu.add_mem_stream(u_flat, name="u")
+v_tu = l2.idx_fbrt(beg=v_base, size=RANK)
+v_el = v_tu.add_mem_stream(v_flat, name="v")
+l2.add_callback(Event.GITE, "dot_step", [l2.vec_operand([u_el, v_el])])
+l2.add_callback(Event.GEND, "pair_end", [])
+l2.set_volume_hint(2.0 * sampling.nnz * RANK)
+
+# Core callbacks: a dot product per sampled coordinate, scaled by S.
+out_vals = []
+state = {"s": 0.0, "acc": 0.0}
+
+
+def pair_begin(record):
+    state["s"] = record.operands[0]
+    state["acc"] = 0.0
+
+
+def dot_step(record):
+    u_val, v_val = record.operands[0]
+    state["acc"] += u_val * v_val
+
+
+def pair_end(record):
+    out_vals.append(state["s"] * state["acc"])
+
+
+stats = TmuEngine(prog).run({
+    "pair_begin": pair_begin, "dot_step": dot_step,
+    "pair_end": pair_end,
+})
+
+# Verify against numpy: Z has S's sparsity with sampled dot products.
+expected = []
+for i in range(sampling.num_rows):
+    beg, end = sampling.row_slice(i)
+    for p in range(beg, end):
+        j = int(sampling.idxs[p])
+        expected.append(sampling.vals[p] * float(u[i] @ v[j]))
+
+assert np.allclose(out_vals, expected)
+print(f"SDDMM on the TMU: {len(out_vals)} sampled dot products, "
+      "all match numpy.")
+print(f"TU iterations per layer: {stats.layer_iterations} "
+      f"(= rows, nnz, 2 x nnz x rank)")
+print("A kernel the paper never evaluated, mapped with the same six "
+      "primitives — that is what format/algebra completeness buys.")

@@ -1,0 +1,56 @@
+"""Visualizing the decoupled outQ pipeline (paper Section 5.3).
+
+The TMU writes outQ chunks while the core processes earlier ones
+(double buffering).  This example simulates the chunk timeline for the
+three regimes Figure 13 identifies — engine-bound, balanced, and
+core-bound — and shows what chunk-time *variability* (heavy rows) does
+to the overlap, an effect the closed-form model cannot see.
+
+Run:  python examples/outq_pipeline.py
+"""
+
+from repro.eval.reporting import text_table
+from repro.sim.pipeline import chunk_times_from_totals, \
+    simulate_outq_pipeline
+
+CHUNKS = 128
+
+regimes = [
+    ("engine-bound (SpMV-like, r2w 0.5)", 10_000.0, 5_000.0),
+    ("balanced (SpKAdd-like, r2w 1.0)", 10_000.0, 10_000.0),
+    ("core-bound (SpMSpM-like, r2w 1.7)", 10_000.0, 17_000.0),
+]
+
+rows = []
+for label, produce_total, consume_total in regimes:
+    for cv in (0.0, 1.0):
+        p, c = chunk_times_from_totals(produce_total, consume_total,
+                                       CHUNKS, cv=cv, seed=5)
+        r = simulate_outq_pipeline(p, c, buffers=2)
+        rows.append([
+            label,
+            f"{cv:.1f}",
+            int(r.total_cycles),
+            f"{r.producer_utilization:.0%}",
+            f"{r.consumer_utilization:.0%}",
+            int(r.producer_stalled),
+            int(r.consumer_stalled),
+            f"{r.read_to_write:.2f}",
+        ])
+
+print(text_table(
+    ["regime", "chunk cv", "total", "engine util", "core util",
+     "engine stall", "core stall", "r2w"],
+    rows,
+    "outQ double-buffered pipeline, 128 chunks"))
+
+print("""
+Reading the table:
+ * engine-bound: the core idles waiting for chunks (core util ~50%);
+ * balanced: both sides ~fully utilized — the double buffer earns its
+   area;
+ * core-bound: the engine stalls on full buffers, exactly the >1
+   read-to-write regime of Figure 13;
+ * cv=1.0 rows: irregular chunk times break the overlap and stretch
+   every regime — why queue sizing (Section 5.5) allocates storage to
+   the layers that load the most.""")

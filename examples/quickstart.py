@@ -1,0 +1,99 @@
+"""Quickstart: program the TMU for SpMV and run it functionally.
+
+This walks the paper's running example end to end (Figures 4, 8, 9):
+build a CSR matrix, write the two-layer TMU program — a dense traversal
+of the row pointers broadcast into a lockstep pair of compressed column
+traversals — register the ``ri``/``re`` callbacks, execute on the
+functional engine, and check the result against numpy.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.formats.csr import CsrMatrix
+from repro.tmu import Event, LayerMode, Program, TmuEngine
+
+# ---------------------------------------------------------------- inputs
+# The sparse matrix of the paper's Figure 1 (rows: a / b / empty / c d).
+matrix = CsrMatrix(
+    shape=(4, 4),
+    ptrs=[0, 1, 2, 2, 4],
+    idxs=[0, 2, 1, 3],
+    vals=[1.0, 2.0, 3.0, 4.0],
+)
+vector = np.array([10.0, 20.0, 30.0, 40.0])
+
+# ------------------------------------------------- the TMU program (Fig 8)
+LANES = 2
+prog = Program("spmv_quickstart", lanes=LANES)
+ptrs = prog.place_array(matrix.ptrs, 4, "a->ptrs")
+idxs = prog.place_array(matrix.idxs, 4, "a->idxs")
+vals = prog.place_array(matrix.vals, 8, "a->vals")
+bvec = prog.place_array(vector, 8, "b")
+
+# Layer 0: dense traversal of the row pointers, broadcast rightward.
+layer0 = prog.add_layer(LayerMode.BCAST)
+row = layer0.dns_fbrt(beg=0, end=matrix.num_rows)
+row_ptbs = row.add_mem_stream(ptrs, name="row_ptbs")
+row_ptes = row.add_mem_stream(ptrs, offset=1, name="row_ptes")
+layer0.set_volume_hint(matrix.num_rows)
+
+# Layer 1: two lanes co-iterate each row in lockstep, each loading the
+# column index, the non-zero value, and the gathered vector element.
+layer1 = prog.add_layer(LayerMode.LOCKSTEP)
+nnz_streams, vec_streams = [], []
+for lane in range(LANES):
+    col = layer1.rng_fbrt(beg=row_ptbs, end=row_ptes, offset=lane,
+                          stride=LANES)
+    col_idxs = col.add_mem_stream(idxs, name=f"col_idxs{lane}")
+    nnz_streams.append(col.add_mem_stream(vals, name=f"nnz_vals{lane}"))
+    vec_streams.append(col.add_mem_stream(bvec, parent=col_idxs,
+                                          name=f"vec_vals{lane}"))
+nnz_vals = layer1.vec_operand(nnz_streams)
+vec_vals = layer1.vec_operand(vec_streams)
+layer1.add_callback(Event.GITE, "ri", [nnz_vals, vec_vals,
+                                       layer1.mask_operand()])
+layer1.add_callback(Event.GEND, "re", [])
+layer1.set_volume_hint(matrix.nnz)
+
+# ----------------------------------------------- core callbacks (Fig 6)
+x = np.zeros(matrix.num_rows)
+state = {"sum": 0.0, "row": 0}
+
+
+def ri_callback(record):
+    """Inner-loop body: multiply and accumulate the marshaled pair."""
+    nnz, vec, mask = record.operands
+    for lane in range(len(nnz)):
+        if mask & (1 << lane):
+            state["sum"] += nnz[lane] * vec[lane]
+
+
+def re_callback(record):
+    """Inner-loop tail: store the row result."""
+    x[state["row"]] = state["sum"]
+    state["sum"] = 0.0
+    state["row"] += 1
+
+
+# --------------------------------------------------------------- run it
+engine = TmuEngine(prog)
+stats = engine.run({"ri": ri_callback, "re": re_callback})
+
+expected = matrix.to_dense() @ vector
+print("TMU result:   ", x)
+print("numpy result: ", expected)
+assert np.allclose(x, expected), "mismatch!"
+
+print()
+print(f"TU iterations per layer : {stats.layer_iterations}")
+print(f"outQ records / bytes    : {stats.outq_records} / "
+      f"{stats.outq_bytes}")
+print(f"memory touches / lines  : {stats.memory_touches} / "
+      f"{stats.memory_lines}")
+print(f"queue entries per layer : "
+      f"{stats.queue_sizing.entries_per_layer} "
+      f"({stats.queue_sizing.utilization:.0%} of lane storage)")
+print()
+print("OK — the TMU marshaled every operand the core needed.")

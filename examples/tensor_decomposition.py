@@ -1,0 +1,59 @@
+"""CP-ALS tensor decomposition with TMU-accelerated MTTKRP.
+
+The paper's flagship *application* (GenTen-style CP-ALS): each sweep
+runs three MTTKRPs — the kernel the TMU accelerates — plus dense
+Gram/solve updates that consume the partial results on the core, the
+pattern that motivates near-core integration over discrete
+accelerators.
+
+This example (1) decomposes a synthetic low-rank tensor and reports the
+fit per sweep, (2) verifies the TMU MTTKRP program against the kernel,
+and (3) models the system-level speedup of one sweep.
+
+Run:  python examples/tensor_decomposition.py
+"""
+
+import numpy as np
+
+from repro.config import experiment_machine
+from repro.formats.coo import CooTensor
+from repro.kernels import cp_als, mttkrp
+from repro.programs import build_mttkrp_program
+from repro.programs.cpals import cpals_runs
+from repro.tmu import TmuEngine
+
+# A genuinely rank-3 tensor plus noise.
+rng = np.random.default_rng(7)
+RANK = 3
+A = rng.random((24, RANK))
+B = rng.random((20, RANK))
+C = rng.random((16, RANK))
+dense = np.einsum("ir,jr,kr->ijk", A, B, C)
+dense *= rng.random(dense.shape) < 0.3       # sparsify
+tensor = CooTensor.from_dense(dense)
+print(f"Tensor {tensor.shape}, {tensor.nnz} stored entries")
+
+# ---------------------------------------------------------- decomposition
+result = cp_als(tensor, rank=RANK, iterations=12, seed=1)
+print("\nCP-ALS fit per sweep:")
+for sweep, fit in enumerate(result.fit_history, 1):
+    print(f"  sweep {sweep:2d}: fit = {fit:.4f}")
+
+# ------------------------------------------- MTTKRP on the TMU (exact)
+factors_b, factors_c = result.factors[1], result.factors[2]
+built = build_mttkrp_program(tensor, factors_b, factors_c)
+TmuEngine(built.program).run(built.handlers)
+tmu_mttkrp = built.result()
+kernel_mttkrp = mttkrp(tensor, factors_b, factors_c)
+assert np.allclose(tmu_mttkrp, kernel_mttkrp)
+print("\nTMU MTTKRP program matches the software kernel.")
+
+# --------------------------------------------------- system-level model
+machine = experiment_machine("small")
+baseline, tmu = cpals_runs(tensor, RANK, machine)
+print(f"\nOne CP-ALS sweep on the modeled system:")
+print(f"  baseline : {int(baseline.cycles):>9d} cycles")
+print(f"  with TMU : {int(tmu.cycles):>9d} cycles "
+      f"({baseline.cycles / tmu.cycles:.2f}x)")
+print(f"  read-to-write ratio {tmu.read_to_write:.2f} "
+      "(>1: the core-side dense updates bound the sweep)")

@@ -1,0 +1,82 @@
+"""Command-line entry point: regenerate any table or figure.
+
+Usage::
+
+    python -m repro fig10 [--scale small|medium|paper]
+    python -m repro all --scale small
+    tmu-repro table6
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .eval import experiments as ex
+
+_COMMANDS = {
+    "fig03": lambda scale: ex.render_fig03(ex.fig03_motivation(scale)),
+    "fig10": lambda scale: ex.render_fig10(ex.fig10_speedups(scale)),
+    "fig11": lambda scale: ex.render_fig11(ex.fig11_breakdown(scale)),
+    "fig12": lambda scale: ex.render_fig12(ex.fig12_roofline(scale)),
+    "fig13": lambda scale: ex.render_fig13(
+        ex.fig13_read_to_write(scale)),
+    "fig14": lambda scale: ex.render_fig14(ex.fig14_sensitivity(scale)),
+    "fig15": lambda scale: ex.render_fig15(
+        ex.fig15_state_of_the_art(scale)),
+    "table5": lambda scale: ex.render_table5(
+        ex.table5_parameters(scale)),
+    "table6": lambda scale: ex.render_table6(ex.table6_inputs(scale)),
+    "area": lambda scale: ex.render_area(ex.area_results()),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="tmu-repro",
+        description=(
+            "Regenerate the tables and figures of 'A Tensor Marshaling "
+            "Unit for Sparse Tensor Algebra on General-Purpose "
+            "Processors' (MICRO 2023)."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(_COMMANDS) + ["all"],
+        help="which artifact to regenerate",
+    )
+    parser.add_argument(
+        "--scale",
+        default="small",
+        choices=("small", "medium", "paper"),
+        help="input/cache scale preset (default: small)",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        metavar="DIR",
+        help="also write each artifact to DIR/<name>.txt",
+    )
+    args = parser.parse_args(argv)
+
+    out_dir = None
+    if args.output is not None:
+        from pathlib import Path
+
+        out_dir = Path(args.output)
+        out_dir.mkdir(parents=True, exist_ok=True)
+
+    names = sorted(_COMMANDS) if args.experiment == "all" else [
+        args.experiment]
+    for name in names:
+        rendered = _COMMANDS[name](args.scale)
+        print(rendered)
+        print()
+        if out_dir is not None:
+            (out_dir / f"{name}.txt").write_text(rendered + "\n",
+                                                 encoding="utf-8")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

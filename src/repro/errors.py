@@ -1,0 +1,46 @@
+"""Exception hierarchy for the TMU reproduction library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError`, so
+callers can catch a single base class.  Subclasses partition the failure
+modes by subsystem: tensor formats, TMU configuration/execution, and the
+timing simulator.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class FormatError(ReproError):
+    """A tensor/format invariant was violated (bad shape, unsorted
+    coordinates, pointer array inconsistencies, ...)."""
+
+
+class ConversionError(FormatError):
+    """A format conversion was requested that is impossible or lossy."""
+
+
+class FiberError(ReproError):
+    """A fiber traversal or merge was driven with inconsistent inputs
+    (e.g. unsorted coordinates handed to a merger)."""
+
+
+class TMUConfigError(ReproError):
+    """The TMU was programmed with an invalid configuration (too many
+    lanes, storage overflow, dangling stream parents, ...)."""
+
+
+class TMURuntimeError(ReproError):
+    """The TMU engine reached an inconsistent runtime state (deadlock,
+    queue protocol violation).  Indicates a bug in a program or engine."""
+
+
+class SimulationError(ReproError):
+    """The timing simulator was driven with inconsistent parameters or
+    traces."""
+
+
+class WorkloadError(ReproError):
+    """An experiment/workload registry lookup or execution failed."""

@@ -1,0 +1,36 @@
+"""Fibers: one-dimensional tensor views, their traversal and merging.
+
+Implements Sections 2.3 (level traversal functions) and 2.4
+(disjunctive/conjunctive merging) of the paper as reusable software
+building blocks.  These serve both as the golden reference for the TMU
+hardware model and as the inner machinery of the software baseline
+kernels.
+"""
+
+from .fiber import Fiber
+from .merge import (
+    MergePoint,
+    conjunctive_merge,
+    disjunctive_merge,
+    lockstep_coiterate,
+    reduce_by_index,
+)
+from .traversal import (
+    iter_compressed,
+    iter_coordinates,
+    iter_dense,
+    scan_and_lookup,
+)
+
+__all__ = [
+    "Fiber",
+    "MergePoint",
+    "conjunctive_merge",
+    "disjunctive_merge",
+    "lockstep_coiterate",
+    "reduce_by_index",
+    "iter_compressed",
+    "iter_coordinates",
+    "iter_dense",
+    "scan_and_lookup",
+]

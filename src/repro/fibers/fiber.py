@@ -1,0 +1,79 @@
+"""The :class:`Fiber` view — a sorted (index, value) sequence.
+
+A fiber is a one-dimensional view of a tensor (Section 2.2): a CSR row,
+a CSC column, a CSF sub-fiber, or a dense vector segment.  Mergers
+co-iterate fibers; traversals produce them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import FiberError
+from ..types import as_index_array, as_value_array
+
+
+class Fiber:
+    """An immutable sparse fiber: strictly increasing ``indices`` paired
+    with ``values``."""
+
+    __slots__ = ("indices", "values")
+
+    def __init__(self, indices, values, *, validate: bool = True) -> None:
+        self.indices = as_index_array(indices)
+        self.values = as_value_array(values)
+        if validate:
+            if self.indices.shape != self.values.shape:
+                raise FiberError("indices/values length mismatch")
+            if self.indices.size and np.any(np.diff(self.indices) <= 0):
+                raise FiberError("fiber indices must be strictly increasing")
+
+    @classmethod
+    def from_dense(cls, values) -> "Fiber":
+        """Dense segment as a fiber with indices 0..n-1 (zeros kept —
+        density is a property of the *format*, not the data)."""
+        values = as_value_array(values)
+        return cls(np.arange(values.size), values, validate=False)
+
+    @classmethod
+    def empty(cls) -> "Fiber":
+        return cls(np.zeros(0, np.int64), np.zeros(0), validate=False)
+
+    @property
+    def nnz(self) -> int:
+        return int(self.indices.size)
+
+    def __len__(self) -> int:
+        return self.nnz
+
+    def __iter__(self):
+        return zip(self.indices.tolist(), self.values.tolist())
+
+    def __getitem__(self, k: int) -> tuple[int, float]:
+        return int(self.indices[k]), float(self.values[k])
+
+    def lookup(self, index: int) -> float:
+        """Value at coordinate ``index`` (0.0 if absent) via binary
+        search — the software counterpart of scan-and-lookup."""
+        pos = int(np.searchsorted(self.indices, index))
+        if pos < self.nnz and self.indices[pos] == index:
+            return float(self.values[pos])
+        return 0.0
+
+    def to_dense(self, size: int) -> np.ndarray:
+        if self.nnz and int(self.indices[-1]) >= size:
+            raise FiberError("fiber index exceeds requested dense size")
+        out = np.zeros(size)
+        out[self.indices] = self.values
+        return out
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Fiber):
+            return NotImplemented
+        return (
+            np.array_equal(self.indices, other.indices)
+            and np.allclose(self.values, other.values)
+        )
+
+    def __repr__(self) -> str:
+        return f"Fiber(nnz={self.nnz})"

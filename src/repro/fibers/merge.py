@@ -1,0 +1,171 @@
+"""Fiber merging: the co-iteration machinery of Section 2.4.
+
+Three merge disciplines, matching the TG configurations of Table 3:
+
+* **Disjunctive** (``DisjMrg``): union of coordinates; at each step the
+  fibers holding the minimum coordinate are output and advanced.  Used
+  by addition-like kernels (0 + x = x).
+* **Conjunctive** (``ConjMrg``): intersection of coordinates; a step is
+  output only when *all* active fibers share the minimum coordinate.
+  Used by multiplication-like kernels (0 · x = 0).
+* **Lockstep** (``LockStep``): positional co-iteration of fibers that
+  need no coordinate matching.
+
+All mergers yield :class:`MergePoint` records whose ``mask`` is the
+multi-hot predicate the paper pushes into the ``msk`` stream: bit ``k``
+set means lane/fiber ``k`` participated in this step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from ..errors import FiberError
+from .fiber import Fiber
+
+
+@dataclass(frozen=True)
+class MergePoint:
+    """One output step of a merge.
+
+    Attributes
+    ----------
+    index:
+        The coordinate produced by this step (or the step number for
+        lockstep co-iteration).
+    mask:
+        Multi-hot predicate over the input fibers; bit ``k`` (LSB-first)
+        is set when fiber ``k`` contributed an element.
+    values:
+        One entry per input fiber — the contributed value for fibers in
+        the mask, 0.0 for the others (the padding the TMU marshals).
+    """
+
+    index: int
+    mask: int
+    values: tuple[float, ...]
+
+    def active_lanes(self) -> list[int]:
+        """Indexes of the fibers that contributed to this point."""
+        return [k for k in range(len(self.values)) if self.mask & (1 << k)]
+
+
+def _check_inputs(fibers: Sequence[Fiber]) -> None:
+    if not fibers:
+        raise FiberError("merging requires at least one fiber")
+
+
+def disjunctive_merge(fibers: Sequence[Fiber]) -> Iterator[MergePoint]:
+    """Union-merge sorted fibers (Figure 2, left).
+
+    For each step, outputs and advances every fiber whose head holds the
+    minimum coordinate.  Matches the TG ``gite`` rule for ``DisjMrg``
+    (Section 5.2): predicate = active lanes with minimum index.
+    """
+    _check_inputs(fibers)
+    heads = [0] * len(fibers)
+    while True:
+        live = [k for k, f in enumerate(fibers) if heads[k] < f.nnz]
+        if not live:
+            return
+        current = min(int(fibers[k].indices[heads[k]]) for k in live)
+        mask = 0
+        values = [0.0] * len(fibers)
+        for k in live:
+            if int(fibers[k].indices[heads[k]]) == current:
+                mask |= 1 << k
+                values[k] = float(fibers[k].values[heads[k]])
+                heads[k] += 1
+        yield MergePoint(current, mask, tuple(values))
+
+
+def conjunctive_merge(fibers: Sequence[Fiber]) -> Iterator[MergePoint]:
+    """Intersection-merge sorted fibers (Figure 2, right).
+
+    Only coordinates present in *every* fiber are output.  Matches the
+    TG ``gite`` rule for ``ConjMrg``: a 0 token is pushed only on an
+    all-true predicate, and the merge ends as soon as any fiber is
+    exhausted.
+    """
+    _check_inputs(fibers)
+    n = len(fibers)
+    heads = [0] * n
+    full_mask = (1 << n) - 1
+    while all(heads[k] < fibers[k].nnz for k in range(n)):
+        current = min(int(fibers[k].indices[heads[k]]) for k in range(n))
+        mask = 0
+        values = [0.0] * n
+        for k in range(n):
+            if int(fibers[k].indices[heads[k]]) == current:
+                mask |= 1 << k
+                values[k] = float(fibers[k].values[heads[k]])
+                heads[k] += 1
+        if mask == full_mask:
+            yield MergePoint(current, mask, tuple(values))
+
+
+def lockstep_coiterate(fibers: Sequence[Fiber]) -> Iterator[MergePoint]:
+    """Positional co-iteration: step all fibers together, padding the
+    exhausted ones with zeros, until every fiber is consumed.
+
+    The ``index`` of each point is the step number; per-fiber original
+    coordinates are irrelevant for lockstep marshaling (the paper pads
+    boundary iterations and marshals the mask alongside).
+    """
+    _check_inputs(fibers)
+    n = len(fibers)
+    steps = max(f.nnz for f in fibers)
+    for s in range(steps):
+        mask = 0
+        values = [0.0] * n
+        for k in range(n):
+            if s < fibers[k].nnz:
+                mask |= 1 << k
+                values[k] = float(fibers[k].values[s])
+        yield MergePoint(s, mask, tuple(values))
+
+
+def reduce_by_index(indices, values) -> Fiber:
+    """Tensor reduction (Section 2.5): collapse a *sorted* stream of
+    (index, value) pairs with possibly repeated indices into a fiber
+    with unique indices and accumulated values."""
+    indices = np.asarray(indices, dtype=np.int64)
+    values = np.asarray(values, dtype=np.float64)
+    if indices.size == 0:
+        return Fiber.empty()
+    if np.any(np.diff(indices) < 0):
+        raise FiberError("reduce_by_index requires a sorted index stream")
+    boundaries = np.concatenate(([True], indices[1:] != indices[:-1]))
+    group = np.cumsum(boundaries) - 1
+    out_idx = indices[boundaries]
+    out_val = np.zeros(out_idx.size)
+    np.add.at(out_val, group, values)
+    return Fiber(out_idx, out_val, validate=False)
+
+
+def merge_to_fiber(points: Iterator[MergePoint], *,
+                   combine: str = "sum") -> Fiber:
+    """Materialize a merge-point stream into an output fiber.
+
+    ``combine='sum'`` adds contributions (disjunctive semantics, e.g.
+    SpAdd); ``combine='prod'`` multiplies the *active* contributions
+    (conjunctive semantics, e.g. element-wise multiply).
+    """
+    idxs: list[int] = []
+    vals: list[float] = []
+    for point in points:
+        if combine == "sum":
+            val = sum(point.values)
+        elif combine == "prod":
+            val = 1.0
+            for lane in point.active_lanes():
+                val *= point.values[lane]
+        else:
+            raise FiberError(f"unknown combine rule {combine!r}")
+        idxs.append(point.index)
+        vals.append(val)
+    return Fiber(np.asarray(idxs, dtype=np.int64), np.asarray(vals),
+                 validate=False)

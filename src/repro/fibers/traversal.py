@@ -1,0 +1,66 @@
+"""The three level traversal functions of Section 2.3.
+
+These generators are the software realization of what a TMU Traversal
+Unit does in hardware; each corresponds to one primitive of Table 1:
+
+* :func:`iter_dense`       ↔ ``DnsFbrT`` (dense/singleton fiber scan)
+* :func:`iter_compressed`  ↔ ``RngFbrT`` (compressed lookup-and-scan)
+* :func:`scan_and_lookup`  ↔ a ``mem`` stream chained off another
+  ``mem`` stream (indirect access, ``IdxFbrT`` for whole-fiber scans)
+* :func:`iter_coordinates` ↔ singleton-level traversal of COO
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+
+def iter_dense(vals, beg: int = 0, end: int | None = None,
+               stride: int = 1) -> Iterator[tuple[int, float]]:
+    """Dense traversal::
+
+        for (idx = beg; idx < end; idx += stride)
+            val = vals[idx];
+    """
+    if end is None:
+        end = len(vals)
+    for idx in range(beg, end, stride):
+        yield idx, vals[idx]
+
+
+def iter_compressed(ptr, idxs, vals, i: int,
+                    stride: int = 1, offset: int = 0
+                    ) -> Iterator[tuple[int, float]]:
+    """Compressed traversal::
+
+        for (p = ptr[i]; p < ptr[i+1]; p++)
+            idx = idxs[p]; val = vals[p];
+    """
+    for p in range(int(ptr[i]) + offset, int(ptr[i + 1]), stride):
+        yield int(idxs[p]), vals[p]
+
+
+def iter_coordinates(coords: Sequence[np.ndarray], vals
+                     ) -> Iterator[tuple[tuple[int, ...], float]]:
+    """Coordinate singleton traversal::
+
+        for (p = 0; p < numNnzs; p++)
+            idx0 = idxs0[p]; ...; val = vals[p];
+    """
+    num = len(vals)
+    for p in range(num):
+        yield tuple(int(c[p]) for c in coords), vals[p]
+
+
+def scan_and_lookup(ptr, idxs, vals, dense, i: int
+                    ) -> Iterator[tuple[int, float, float]]:
+    """The SpMV inner loop (Figure 4, lines 5–7): scan row ``i`` of a
+    CSR matrix and look up the dense operand at each column index.
+
+    Yields ``(column, nnz_val, dense_val)``.
+    """
+    for p in range(int(ptr[i]), int(ptr[i + 1])):
+        idx = int(idxs[p])
+        yield idx, vals[p], dense[idx]

@@ -1,0 +1,114 @@
+"""Dense tensor containers.
+
+Dense operands in the paper are the right-hand-side vector of SpMV, the
+factor matrices of MTTKRP/CP-ALS, and all kernel outputs whose dimensions
+are not compressed.  They are thin, validated wrappers around contiguous
+numpy arrays so the rest of the library can reason about *fibers* (the
+one-dimensional views of Section 2.2) and byte-accurate addresses.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from ..errors import FormatError
+from ..types import VALUE_DTYPE, as_value_array
+
+
+class DenseVector:
+    """A dense order-1 tensor."""
+
+    def __init__(self, values) -> None:
+        values = as_value_array(values)
+        if values.ndim != 1:
+            raise FormatError(f"DenseVector needs 1-D data, got {values.ndim}-D")
+        self.values = values
+
+    @classmethod
+    def zeros(cls, size: int) -> "DenseVector":
+        if size < 0:
+            raise FormatError("vector size must be non-negative")
+        return cls(np.zeros(size, dtype=VALUE_DTYPE))
+
+    @property
+    def shape(self) -> tuple[int]:
+        return (self.values.size,)
+
+    @property
+    def size(self) -> int:
+        return self.values.size
+
+    def nbytes(self) -> int:
+        return int(self.values.nbytes)
+
+    def __len__(self) -> int:
+        return self.values.size
+
+    def __getitem__(self, i):
+        return self.values[i]
+
+    def __setitem__(self, i, v) -> None:
+        self.values[i] = v
+
+    def __iter__(self) -> Iterator[float]:
+        return iter(self.values)
+
+    def to_numpy(self) -> np.ndarray:
+        return self.values.copy()
+
+    def __repr__(self) -> str:
+        return f"DenseVector(size={self.size})"
+
+
+class DenseMatrix:
+    """A dense order-2 tensor stored row-major.
+
+    Row-major storage makes each *row* a contiguous fiber, matching the
+    layouts the paper's kernels assume (e.g. the ``B`` operand of SpMM is
+    scanned a row at a time by the ``IdxFbrT`` primitive).
+    """
+
+    def __init__(self, values) -> None:
+        values = np.ascontiguousarray(np.asarray(values, dtype=VALUE_DTYPE))
+        if values.ndim != 2:
+            raise FormatError(f"DenseMatrix needs 2-D data, got {values.ndim}-D")
+        self.values = values
+
+    @classmethod
+    def zeros(cls, rows: int, cols: int) -> "DenseMatrix":
+        if rows < 0 or cols < 0:
+            raise FormatError("matrix dimensions must be non-negative")
+        return cls(np.zeros((rows, cols), dtype=VALUE_DTYPE))
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.values.shape  # type: ignore[return-value]
+
+    @property
+    def num_rows(self) -> int:
+        return self.values.shape[0]
+
+    @property
+    def num_cols(self) -> int:
+        return self.values.shape[1]
+
+    def nbytes(self) -> int:
+        return int(self.values.nbytes)
+
+    def row(self, i: int) -> np.ndarray:
+        """Return row ``i`` as a fiber (a contiguous view)."""
+        return self.values[i]
+
+    def __getitem__(self, key):
+        return self.values[key]
+
+    def __setitem__(self, key, v) -> None:
+        self.values[key] = v
+
+    def to_numpy(self) -> np.ndarray:
+        return self.values.copy()
+
+    def __repr__(self) -> str:
+        return f"DenseMatrix(shape={self.shape})"

@@ -1,0 +1,139 @@
+"""Text I/O: MatrixMarket coordinate files and FROSTT ``.tns`` tensors.
+
+The paper's inputs come from SuiteSparse (MatrixMarket ``.mtx``) and
+FROSTT (``.tns``).  This repo generates synthetic stand-ins, but the
+readers/writers let users drop in the real files when they have them.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import TextIO
+
+import numpy as np
+
+from ..errors import FormatError
+from .coo import CooMatrix, CooTensor
+
+
+def _open_for_read(source) -> TextIO:
+    if isinstance(source, (str, Path)):
+        return open(source, "r", encoding="ascii")
+    return source
+
+
+def read_matrix_market(source) -> CooMatrix:
+    """Read a MatrixMarket coordinate file into a :class:`CooMatrix`.
+
+    Supports the ``matrix coordinate real/integer/pattern
+    general/symmetric`` subset, which covers SuiteSparse.
+    """
+    close = isinstance(source, (str, Path))
+    fh = _open_for_read(source)
+    try:
+        header = fh.readline()
+        if not header.startswith("%%MatrixMarket"):
+            raise FormatError("missing MatrixMarket header")
+        fields = header.strip().lower().split()
+        if len(fields) < 5 or fields[1] != "matrix" or fields[2] != "coordinate":
+            raise FormatError(f"unsupported MatrixMarket header: {header!r}")
+        value_type, symmetry = fields[3], fields[4]
+        if value_type not in ("real", "integer", "pattern"):
+            raise FormatError(f"unsupported value type {value_type!r}")
+        if symmetry not in ("general", "symmetric"):
+            raise FormatError(f"unsupported symmetry {symmetry!r}")
+
+        line = fh.readline()
+        while line.startswith("%"):
+            line = fh.readline()
+        rows, cols, nnz = (int(tok) for tok in line.split())
+
+        r = np.empty(nnz, dtype=np.int64)
+        c = np.empty(nnz, dtype=np.int64)
+        v = np.empty(nnz, dtype=np.float64)
+        for k in range(nnz):
+            toks = fh.readline().split()
+            r[k] = int(toks[0]) - 1
+            c[k] = int(toks[1]) - 1
+            v[k] = float(toks[2]) if value_type != "pattern" else 1.0
+
+        if symmetry == "symmetric":
+            off = r != c
+            r = np.concatenate((r, c[off]))
+            c = np.concatenate((c, r[: nnz][off]))
+            v = np.concatenate((v, v[off]))
+        return CooMatrix((rows, cols), r, c, v)
+    finally:
+        if close:
+            fh.close()
+
+
+def write_matrix_market(matrix: CooMatrix, target) -> None:
+    """Write a :class:`CooMatrix` as ``matrix coordinate real general``."""
+    close = isinstance(target, (str, Path))
+    fh = open(target, "w", encoding="ascii") if close else target
+    try:
+        fh.write("%%MatrixMarket matrix coordinate real general\n")
+        fh.write(f"{matrix.num_rows} {matrix.num_cols} {matrix.nnz}\n")
+        for r, c, v in zip(matrix.rows, matrix.cols, matrix.values):
+            fh.write(f"{int(r) + 1} {int(c) + 1} {float(v):.17g}\n")
+    finally:
+        if close:
+            fh.close()
+
+
+def read_tns(source, shape: tuple[int, ...] | None = None) -> CooTensor:
+    """Read a FROSTT ``.tns`` file (1-based coordinates, value last)."""
+    close = isinstance(source, (str, Path))
+    fh = _open_for_read(source)
+    try:
+        coords_cols: list[list[int]] = []
+        vals: list[float] = []
+        ndim = None
+        for line in fh:
+            line = line.strip()
+            if not line or line.startswith(("#", "%")):
+                continue
+            toks = line.split()
+            if ndim is None:
+                ndim = len(toks) - 1
+                if ndim < 1:
+                    raise FormatError("tns lines need >=1 coordinate + value")
+                coords_cols = [[] for _ in range(ndim)]
+            if len(toks) != ndim + 1:
+                raise FormatError("inconsistent arity in tns file")
+            for d in range(ndim):
+                coords_cols[d].append(int(toks[d]) - 1)
+            vals.append(float(toks[-1]))
+        if ndim is None:
+            raise FormatError("empty tns file")
+        coords = [np.asarray(col, dtype=np.int64) for col in coords_cols]
+        if shape is None:
+            shape = tuple(int(col.max()) + 1 if col.size else 0
+                          for col in coords)
+        return CooTensor(shape, coords, np.asarray(vals))
+    finally:
+        if close:
+            fh.close()
+
+
+def write_tns(tensor: CooTensor, target) -> None:
+    """Write a :class:`CooTensor` in FROSTT ``.tns`` format."""
+    close = isinstance(target, (str, Path))
+    fh = open(target, "w", encoding="ascii") if close else target
+    try:
+        for k in range(tensor.nnz):
+            coords = " ".join(str(int(c[k]) + 1) for c in tensor.coords)
+            fh.write(f"{coords} {float(tensor.values[k]):.17g}\n")
+    finally:
+        if close:
+            fh.close()
+
+
+def matrix_to_string(matrix: CooMatrix) -> str:
+    """Render a matrix as MatrixMarket text (round-trips through
+    :func:`read_matrix_market`)."""
+    buf = io.StringIO()
+    write_matrix_market(matrix, buf)
+    return buf.getvalue()

@@ -1,0 +1,66 @@
+"""Synthetic sparse tensor generators (FROSTT stand-ins, Table 6).
+
+The FROSTT tensors the paper uses (Chicago-crime, LBNL-network,
+NIPS publications, Uber pickups) are count/measurement tensors whose
+modes have wildly different extents and skewed marginal distributions.
+The generators reproduce those two properties — per-mode extents and
+Zipf-skewed coordinate marginals — at a configurable scale.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import FormatError
+from ..formats.coo import CooTensor
+
+
+def _zipf_coordinates(rng, extent: int, count: int, skew: float) -> np.ndarray:
+    """Sample ``count`` coordinates in [0, extent) with a Zipf-like
+    marginal of exponent ``skew`` (0 = uniform)."""
+    if extent <= 0:
+        raise FormatError("mode extent must be positive")
+    if skew <= 0:
+        return rng.integers(0, extent, size=count)
+    # Inverse-CDF sampling over a truncated log-uniform distribution:
+    # rank k is hit with probability ~ 1/(k+1), scattered by `perm` below.
+    u = rng.random(count) ** (1.0 / skew)
+    k = np.exp(u * np.log(extent + 1.0)) - 1.0
+    coords = np.clip(k.astype(np.int64), 0, extent - 1)
+    # Scatter hubs across the index space deterministically.
+    perm = rng.permutation(extent)
+    return perm[coords]
+
+
+def uniform_random_tensor(shape: Sequence[int], nnz: int,
+                          seed: int = 0) -> CooTensor:
+    """Uniformly random order-n tensor with ~``nnz`` stored entries."""
+    rng = np.random.default_rng(seed)
+    coords = [rng.integers(0, s, size=nnz) for s in shape]
+    vals = rng.uniform(0.5, 1.5, size=nnz)
+    return CooTensor(tuple(shape), coords, vals)
+
+
+def clustered_tensor(shape: Sequence[int], nnz: int, *,
+                     skews: Sequence[float] | None = None,
+                     seed: int = 0) -> CooTensor:
+    """Tensor with Zipf-skewed marginals per mode.
+
+    ``skews[d]`` controls mode ``d``'s skew; real count tensors typically
+    have one or two heavily skewed modes (e.g. crime type, network port)
+    and more uniform modes (e.g. hour of day).
+    """
+    shape = tuple(int(s) for s in shape)
+    rng = np.random.default_rng(seed)
+    if skews is None:
+        skews = [1.0] * len(shape)
+    if len(skews) != len(shape):
+        raise FormatError("need one skew per mode")
+    coords = [
+        _zipf_coordinates(rng, extent, nnz, skew)
+        for extent, skew in zip(shape, skews)
+    ]
+    vals = rng.uniform(0.5, 1.5, size=nnz)
+    return CooTensor(shape, coords, vals)

@@ -1,0 +1,87 @@
+"""Shared helpers for kernel implementations and characterization."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..formats.csr import CsrMatrix
+from ..sim.trace import AddressSpace
+from ..types import INDEX_BYTES, VALUE_BYTES
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Ceiling integer division for non-negative operands."""
+    return -(-a // b)
+
+
+def sve_lanes(vector_bits: int, elem_bytes: int = VALUE_BYTES) -> int:
+    """Number of elements one SVE vector holds."""
+    return max(1, vector_bits // (8 * elem_bytes))
+
+
+class CsrOperand:
+    """Virtual placement of a CSR matrix's three arrays, with address
+    helpers for characterization."""
+
+    def __init__(self, space: AddressSpace, matrix: CsrMatrix) -> None:
+        self.matrix = matrix
+        self.ptrs_base = space.place((matrix.num_rows + 1) * INDEX_BYTES)
+        self.idxs_base = space.place(matrix.nnz * INDEX_BYTES)
+        self.vals_base = space.place(matrix.nnz * VALUE_BYTES)
+
+    def ptr_addresses(self) -> np.ndarray:
+        """Sequential walk over the row-pointer array."""
+        n = self.matrix.num_rows + 1
+        return self.ptrs_base + np.arange(n, dtype=np.int64) * INDEX_BYTES
+
+    def idx_addresses(self, positions=None) -> np.ndarray:
+        if positions is None:
+            positions = np.arange(self.matrix.nnz, dtype=np.int64)
+        return self.idxs_base + np.asarray(positions, np.int64) * INDEX_BYTES
+
+    def val_addresses(self, positions=None) -> np.ndarray:
+        if positions is None:
+            positions = np.arange(self.matrix.nnz, dtype=np.int64)
+        return self.vals_base + np.asarray(positions, np.int64) * VALUE_BYTES
+
+
+class DenseOperand:
+    """Virtual placement of a dense array."""
+
+    def __init__(self, space: AddressSpace, num_elems: int,
+                 elem_bytes: int = VALUE_BYTES) -> None:
+        self.base = space.place(num_elems * elem_bytes)
+        self.elem_bytes = elem_bytes
+        self.num_elems = num_elems
+
+    def addresses(self, indices=None) -> np.ndarray:
+        if indices is None:
+            indices = np.arange(self.num_elems, dtype=np.int64)
+        return self.base + np.asarray(indices, np.int64) * self.elem_bytes
+
+
+def row_chunk_count(row_nnz: np.ndarray, lanes: int) -> int:
+    """Total vectorized inner-loop iterations when each row is processed
+    in ``lanes``-wide chunks (the SVE baseline's trip count)."""
+    return int(np.sum(-(-row_nnz // lanes)))
+
+
+def gather_scan_positions(ptrs, keys) -> np.ndarray:
+    """Positions visited when scanning fiber ``keys[k]`` of a compressed
+    structure for each k, concatenated in order (vectorized).
+
+    Equivalent to ``concatenate([arange(ptrs[k], ptrs[k+1]) for k in
+    keys])`` without the Python loop.
+    """
+    ptrs = np.asarray(ptrs)
+    keys = np.asarray(keys, dtype=np.int64)
+    if keys.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    starts = ptrs[keys].astype(np.int64)
+    lens = (ptrs[keys + 1] - ptrs[keys]).astype(np.int64)
+    total = int(lens.sum())
+    if total == 0:
+        return np.zeros(0, dtype=np.int64)
+    offsets = np.repeat(np.cumsum(lens) - lens, lens)
+    return np.repeat(starts, lens) + (np.arange(total, dtype=np.int64)
+                                      - offsets)

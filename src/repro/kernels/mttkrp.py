@@ -1,0 +1,120 @@
+"""MTTKRP: Matricized Tensor Times Khatri-Rao Product (COO).
+
+``Z_ij = Σ_{k,l} A_ikl B_kj C_lj`` for an order-3 sparse tensor ``A``
+and dense factor matrices ``B`` and ``C``.  This is the workhorse of
+CP-ALS tensor decomposition; the paper uses the GenTen/Phipps-Kolda COO
+formulation with permutation optimization (non-zeros sorted by the
+output mode so partial results accumulate into one row at a time).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import MachineConfig
+from ..errors import WorkloadError
+from ..formats.coo import CooTensor
+from ..sim.trace import AccessStream, AddressSpace, KernelTrace
+from ..types import INDEX_BYTES, VALUE_BYTES
+from .common import ceil_div, sve_lanes
+
+
+def mttkrp(tensor: CooTensor, b, c, mode: int = 0) -> np.ndarray:
+    """Reference MTTKRP for an order-3 COO tensor.
+
+    ``mode`` selects the output mode (0 → ``Z_ij = A_ikl B_kj C_lj``);
+    the other two modes' coordinates index the factor matrices.
+    """
+    if tensor.ndim != 3:
+        raise WorkloadError("mttkrp reference expects an order-3 tensor")
+    b = np.asarray(b, dtype=np.float64)
+    c = np.asarray(c, dtype=np.float64)
+    modes = [m for m in range(3) if m != mode]
+    if b.shape[0] != tensor.shape[modes[0]]:
+        raise WorkloadError("factor B rows must match tensor mode extent")
+    if c.shape[0] != tensor.shape[modes[1]]:
+        raise WorkloadError("factor C rows must match tensor mode extent")
+    if b.shape[1] != c.shape[1]:
+        raise WorkloadError("factor ranks must agree")
+    rank = b.shape[1]
+    out = np.zeros((tensor.shape[mode], rank))
+    i = tensor.coords[mode]
+    k = tensor.coords[modes[0]]
+    l = tensor.coords[modes[1]]
+    np.add.at(out, i, tensor.values[:, None] * b[k] * c[l])
+    return out
+
+
+def characterize_mttkrp(tensor: CooTensor, rank: int,
+                        machine: MachineConfig,
+                        parallel_mode: str = "mode") -> KernelTrace:
+    """Characterize the permuted COO MTTKRP baseline.
+
+    Per non-zero the kernel gathers one row of each factor (rank-wide
+    vector loads), multiplies them element-wise, scales by the tensor
+    value and accumulates into the output row — ``3 x rank`` flops.
+
+    ``parallel_mode`` mirrors Table 4's two TMU variants: ``'mode'``
+    (P1, parallelize the non-zero loop) and ``'rank'`` (P2, parallelize
+    the rank loop).
+    """
+    if tensor.ndim != 3:
+        raise WorkloadError("characterize_mttkrp expects an order-3 tensor")
+    if parallel_mode not in ("mode", "rank"):
+        raise WorkloadError(f"unknown parallel_mode {parallel_mode!r}")
+    lanes = sve_lanes(machine.core.vector_bits)
+    nnz = tensor.nnz
+    rank_chunks = ceil_div(rank, lanes)
+
+    space = AddressSpace()
+    coord_bases = [space.place(nnz * INDEX_BYTES) for _ in range(3)]
+    val_base = space.place(nnz * VALUE_BYTES)
+    b_base = space.place(tensor.shape[1] * rank * VALUE_BYTES)
+    c_base = space.place(tensor.shape[2] * rank * VALUE_BYTES)
+    out_base = space.place(tensor.shape[0] * rank * VALUE_BYTES)
+
+    nnzidx = np.arange(nnz, dtype=np.int64)
+    vec_bytes = min(64, lanes * VALUE_BYTES)
+    # One sampled address per rank-chunk per factor row.
+    chunk_off = np.arange(rank_chunks, dtype=np.int64) * lanes
+    b_rows = np.repeat(tensor.coords[1] * rank, rank_chunks)
+    c_rows = np.repeat(tensor.coords[2] * rank, rank_chunks)
+    z_rows = np.repeat(tensor.coords[0] * rank, rank_chunks)
+    tiled = np.tile(chunk_off, nnz)
+
+    streams = [
+        AccessStream(coord_bases[0] + nnzidx * INDEX_BYTES, INDEX_BYTES,
+                     "read", "coords i"),
+        AccessStream(coord_bases[1] + nnzidx * INDEX_BYTES, INDEX_BYTES,
+                     "read", "coords k"),
+        AccessStream(coord_bases[2] + nnzidx * INDEX_BYTES, INDEX_BYTES,
+                     "read", "coords l"),
+        AccessStream(val_base + nnzidx * VALUE_BYTES, VALUE_BYTES,
+                     "read", "A vals"),
+        # Factor-row gathers: only the first chunk of each row is
+        # address-dependent; later chunks stream sequentially, so the
+        # stream is not marked dependent (the trace-level
+        # dependent_load_fraction captures the per-row serialization).
+        AccessStream(b_base + (b_rows + tiled) * VALUE_BYTES, vec_bytes,
+                     "read", "B[k,:]"),
+        AccessStream(c_base + (c_rows + tiled) * VALUE_BYTES, vec_bytes,
+                     "read", "C[l,:]"),
+        AccessStream(out_base + (z_rows + tiled) * VALUE_BYTES, vec_bytes,
+                     "read", "Z[i,:] rmw"),
+        AccessStream(out_base + (z_rows + tiled) * VALUE_BYTES, vec_bytes,
+                     "write", "Z[i,:]"),
+    ]
+    total_chunks = nnz * rank_chunks
+    return KernelTrace(
+        name=f"mttkrp_{parallel_mode}",
+        scalar_ops=8 * nnz,
+        vector_ops=3 * total_chunks,          # two muls + one add
+        loads=3 * total_chunks + 4 * nnz,
+        stores=total_chunks,
+        branches=total_chunks + nnz,
+        datadep_branches=nnz // 8,            # output-row change detection
+        flops=3.0 * nnz * rank,
+        streams=streams,
+        dependent_load_fraction=0.6,
+        parallel_units=int(tensor.shape[0]),
+    )

@@ -1,0 +1,166 @@
+"""SpKAdd: summation of K sparse matrices, ``Z_ij = Σ_k A^k_ij`` (DCSR).
+
+The paper's merge-intensive headline kernel (Hussain et al.): K input
+matrices are co-iterated row by row and joined with a K-way disjunctive
+merge.  Inputs are produced by cyclically distributing the rows of a
+source matrix (``A^x_i = A_{i·k+x}``) so domain structure is preserved.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from ..config import MachineConfig
+from ..errors import WorkloadError
+from ..formats.csr import CsrMatrix
+from ..formats.convert import coo_to_dcsr, csr_to_coo
+from ..formats.dcsr import DcsrMatrix
+from ..formats.coo import CooMatrix
+from ..sim.trace import AccessStream, AddressSpace, KernelTrace
+from ..types import INDEX_BYTES, VALUE_BYTES
+
+
+def split_rows_cyclic(a: CsrMatrix, k: int) -> list[DcsrMatrix]:
+    """Cyclically distribute the rows of ``a`` over ``k`` DCSR matrices:
+    row ``i`` of output ``x`` is row ``i*k + x`` of ``a`` (Section 6)."""
+    if k < 1:
+        raise WorkloadError("k must be >= 1")
+    out_rows = -(-a.num_rows // k)
+    coo = csr_to_coo(a)
+    outputs = []
+    for x in range(k):
+        pick = (coo.rows % k) == x
+        rows = coo.rows[pick] // k
+        part = CooMatrix((out_rows, a.num_cols), rows, coo.cols[pick],
+                         coo.values[pick], sum_duplicates=False)
+        outputs.append(coo_to_dcsr(part))
+    return outputs
+
+
+def spkadd(matrices: list[DcsrMatrix]) -> CsrMatrix:
+    """Reference SpKAdd via a K-way heap merge per output row.
+
+    All inputs must share the same shape.  Returns CSR output.
+    """
+    if not matrices:
+        raise WorkloadError("spkadd needs at least one input matrix")
+    shape = matrices[0].shape
+    if any(m.shape != shape for m in matrices):
+        raise WorkloadError("spkadd inputs must share one shape")
+    rows, cols = shape
+
+    # Row-index cursors per input (DCSR rows are sparse).
+    cursors = [0] * len(matrices)
+    out_ptrs = np.zeros(rows + 1, dtype=np.int64)
+    idx_parts: list[np.ndarray] = []
+    val_parts: list[np.ndarray] = []
+    for i in range(rows):
+        # Collect the fibers of inputs that have row i (hierarchical
+        # merge: first dimension selects active lanes).
+        fibers = []
+        for x, m in enumerate(matrices):
+            cur = cursors[x]
+            if cur < m.num_nonempty_rows and int(m.row_idxs[cur]) == i:
+                beg, end = int(m.ptrs[cur]), int(m.ptrs[cur + 1])
+                fibers.append((m.idxs[beg:end], m.vals[beg:end]))
+                cursors[x] += 1
+        if not fibers:
+            out_ptrs[i + 1] = out_ptrs[i]
+            continue
+        # K-way disjunctive merge with accumulation.
+        heap = [(int(idxs[0]), x, 0) for x, (idxs, _vals) in
+                enumerate(fibers)]
+        heapq.heapify(heap)
+        out_i: list[int] = []
+        out_v: list[float] = []
+        while heap:
+            col, x, pos = heapq.heappop(heap)
+            idxs, vals = fibers[x]
+            if out_i and out_i[-1] == col:
+                out_v[-1] += float(vals[pos])
+            else:
+                out_i.append(col)
+                out_v.append(float(vals[pos]))
+            if pos + 1 < idxs.size:
+                heapq.heappush(heap, (int(idxs[pos + 1]), x, pos + 1))
+        idx_parts.append(np.asarray(out_i, dtype=np.int64))
+        val_parts.append(np.asarray(out_v))
+        out_ptrs[i + 1] = out_ptrs[i] + len(out_i)
+    return CsrMatrix(
+        shape,
+        out_ptrs,
+        np.concatenate(idx_parts) if idx_parts else np.zeros(0, np.int64),
+        np.concatenate(val_parts) if val_parts else np.zeros(0),
+        validate=False,
+    )
+
+
+def characterize_spkadd(matrices: list[DcsrMatrix],
+                        machine: MachineConfig) -> KernelTrace:
+    """Characterize the software K-way merge baseline.
+
+    Every input element passes through the merge network once: a
+    compare-tree descent (~log2 K compares), a head advance, and a
+    highly data-dependent branch per element — plus the per-row lane
+    activation checks on the DCSR row dimension.
+    """
+    k = len(matrices)
+    total_nnz = sum(m.nnz for m in matrices)
+    total_rows = sum(m.num_nonempty_rows for m in matrices)
+    rows = matrices[0].num_rows if matrices else 0
+    log_k = max(1, int(np.ceil(np.log2(max(2, k)))))
+
+    # Output nnz: distinct columns per output row across inputs.
+    nnz_out = 0
+    for i in range(rows):
+        cols = []
+        for m in matrices:
+            pos = np.searchsorted(m.row_idxs, i)
+            if pos < m.num_nonempty_rows and m.row_idxs[pos] == i:
+                cols.append(m.idxs[m.ptrs[pos]:m.ptrs[pos + 1]])
+        if cols:
+            nnz_out += np.unique(np.concatenate(cols)).size
+
+    space = AddressSpace()
+    streams: list[AccessStream] = []
+    for x, m in enumerate(matrices):
+        row_base = space.place(m.num_nonempty_rows * INDEX_BYTES)
+        ptr_base = space.place((m.num_nonempty_rows + 1) * INDEX_BYTES)
+        idx_base = space.place(m.nnz * INDEX_BYTES)
+        val_base = space.place(m.nnz * VALUE_BYTES)
+        nridx = np.arange(m.num_nonempty_rows, dtype=np.int64)
+        nnzidx = np.arange(m.nnz, dtype=np.int64)
+        streams.extend([
+            AccessStream(row_base + nridx * INDEX_BYTES, INDEX_BYTES,
+                         "read", f"A{x} row_idxs"),
+            AccessStream(ptr_base + nridx * INDEX_BYTES, INDEX_BYTES,
+                         "read", f"A{x} ptrs"),
+            AccessStream(idx_base + nnzidx * INDEX_BYTES, INDEX_BYTES,
+                         "read", f"A{x} idxs"),
+            AccessStream(val_base + nnzidx * VALUE_BYTES, VALUE_BYTES,
+                         "read", f"A{x} vals"),
+        ])
+    out_idx = space.place(nnz_out * INDEX_BYTES)
+    out_val = space.place(nnz_out * VALUE_BYTES)
+    onnz = np.arange(nnz_out, dtype=np.int64)
+    streams.extend([
+        AccessStream(out_idx + onnz * INDEX_BYTES, INDEX_BYTES, "write",
+                     "Z idxs"),
+        AccessStream(out_val + onnz * VALUE_BYTES, VALUE_BYTES, "write",
+                     "Z vals"),
+    ])
+    return KernelTrace(
+        name="spkadd",
+        scalar_ops=(2 * log_k + 2) * total_nnz + 6 * total_rows,
+        vector_ops=0,
+        loads=2 * total_nnz + 3 * total_rows + k * rows // 4,
+        stores=2 * nnz_out,
+        branches=(log_k + 1) * total_nnz + total_rows + rows,
+        datadep_branches=int(0.4 * log_k * total_nnz),
+        flops=float(total_nnz - nnz_out),
+        streams=streams,
+        dependent_load_fraction=0.1,
+        parallel_units=rows,
+    )

@@ -1,0 +1,38 @@
+"""Sparse-matrix x sparse-vector product: ``Z_i = A_ij B_j``.
+
+Each matrix row is *conjunctively merged* (intersected) with the sparse
+vector: only coordinates present in both contribute (Table 4 maps this
+to a ``ConjMrg`` layer).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import WorkloadError
+from ..fibers.fiber import Fiber
+from ..fibers.merge import conjunctive_merge
+from ..formats.csr import CsrMatrix
+
+
+def spmspv(a: CsrMatrix, b: Fiber) -> np.ndarray:
+    """Reference SpMSpV: dense output ``Z = A @ b`` with sparse ``b``."""
+    if b.nnz and int(b.indices[-1]) >= a.num_cols:
+        raise WorkloadError("sparse vector index exceeds matrix columns")
+    out = np.zeros(a.num_rows)
+    for i in range(a.num_rows):
+        idxs, vals = a.row(i)
+        row_fiber = Fiber(idxs, vals, validate=False)
+        acc = 0.0
+        for point in conjunctive_merge([row_fiber, b]):
+            acc += point.values[0] * point.values[1]
+        out[i] = acc
+    return out
+
+
+def spmspv_numpy(a: CsrMatrix, b: Fiber) -> np.ndarray:
+    """Vectorized check implementation (densifies the vector)."""
+    dense_b = b.to_dense(a.num_cols)
+    from .spmv import spmv
+
+    return spmv(a, dense_b)

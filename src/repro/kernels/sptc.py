@@ -1,0 +1,151 @@
+"""Sparse tensor contraction: ``Z_ij = A_ikl B_lkj`` (CSF x CSF).
+
+Follows Sparta (Liu et al.): contract the last two modes of ``A``
+against the first two modes of ``B``.  The output is sparse, so the
+algorithm runs a *symbolic* phase (size discovery) before the *numeric*
+phase; the paper evaluates the symbolic phase, which is pure traversal
+and conjunctive merging.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import MachineConfig
+from ..errors import WorkloadError
+from ..formats.csf import CsfTensor
+from ..sim.trace import AccessStream, AddressSpace, KernelTrace
+from ..types import INDEX_BYTES
+
+
+def _csf_top_fibers(t: CsfTensor):
+    """Yield ``(coord0, positions-range)`` for each root node of a CSF
+    tensor."""
+    for n in range(t.idxs[0].size):
+        yield int(t.idxs[0][n]), n
+
+
+def _build_b_lookup(b: CsfTensor) -> dict[tuple[int, int], int]:
+    """Map (l, k) — the first two coordinates of ``B_lkj`` — to the
+    level-1 node position holding that fiber of j's."""
+    lookup: dict[tuple[int, int], int] = {}
+    for l_node in range(b.idxs[0].size):
+        l_coord = int(b.idxs[0][l_node])
+        beg, end = int(b.ptrs[1][l_node]), int(b.ptrs[1][l_node + 1])
+        for k_node in range(beg, end):
+            lookup[(l_coord, int(b.idxs[1][k_node]))] = k_node
+    return lookup
+
+
+def sptc_symbolic(a: CsfTensor, b: CsfTensor) -> np.ndarray:
+    """Symbolic phase: per-``i`` output non-zero counts of
+    ``Z_ij = A_ikl B_lkj``."""
+    if a.ndim != 3 or b.ndim != 3:
+        raise WorkloadError("sptc expects two order-3 CSF tensors")
+    lookup = _build_b_lookup(b)
+    counts = np.zeros(a.idxs[0].size, dtype=np.int64)
+    for i_node in range(a.idxs[0].size):
+        j_set: set[int] = set()
+        kb, ke = int(a.ptrs[1][i_node]), int(a.ptrs[1][i_node + 1])
+        for k_node in range(kb, ke):
+            k = int(a.idxs[1][k_node])
+            lb, le = int(a.ptrs[2][k_node]), int(a.ptrs[2][k_node + 1])
+            for l_node in range(lb, le):
+                l = int(a.idxs[2][l_node])
+                match = lookup.get((l, k))
+                if match is None:
+                    continue
+                jb, je = int(b.ptrs[2][match]), int(b.ptrs[2][match + 1])
+                j_set.update(int(j) for j in b.idxs[2][jb:je])
+        counts[i_node] = len(j_set)
+    return counts
+
+
+def sptc_numeric(a: CsfTensor, b: CsfTensor) -> dict[tuple[int, int], float]:
+    """Numeric phase: the full contraction as a (i, j) → value map."""
+    if a.ndim != 3 or b.ndim != 3:
+        raise WorkloadError("sptc expects two order-3 CSF tensors")
+    lookup = _build_b_lookup(b)
+    out: dict[tuple[int, int], float] = {}
+    for i_node in range(a.idxs[0].size):
+        i = int(a.idxs[0][i_node])
+        kb, ke = int(a.ptrs[1][i_node]), int(a.ptrs[1][i_node + 1])
+        for k_node in range(kb, ke):
+            k = int(a.idxs[1][k_node])
+            lb, le = int(a.ptrs[2][k_node]), int(a.ptrs[2][k_node + 1])
+            for l_node in range(lb, le):
+                l = int(a.idxs[2][l_node])
+                a_val = float(a.vals[l_node])
+                match = lookup.get((l, k))
+                if match is None:
+                    continue
+                jb, je = int(b.ptrs[2][match]), int(b.ptrs[2][match + 1])
+                for j_node in range(jb, je):
+                    key = (i, int(b.idxs[2][j_node]))
+                    out[key] = out.get(key, 0.0) + a_val * float(
+                        b.vals[j_node]
+                    )
+    return out
+
+
+def characterize_sptc(a: CsfTensor, b: CsfTensor,
+                      machine: MachineConfig) -> KernelTrace:
+    """Characterize the symbolic-phase baseline.
+
+    The hot loop intersects A's (k, l) fibers with B's (l, k) fiber
+    directory — a conjunctive merge per level — and unions the matched
+    j fibers.  Everything is index traffic; there is no floating-point
+    work in the symbolic phase (cf. Figure 12's note that SpTC is
+    excluded from the flops roofline).
+    """
+    lookup = _build_b_lookup(b)
+    matches = 0
+    j_scanned = 0
+    for k_node in range(a.idxs[1].size):
+        k = int(a.idxs[1][k_node])
+        lb, le = int(a.ptrs[2][k_node]), int(a.ptrs[2][k_node + 1])
+        for l_node in range(lb, le):
+            match = lookup.get((int(a.idxs[2][l_node]), k))
+            if match is not None:
+                matches += 1
+                j_scanned += int(b.ptrs[2][match + 1]
+                                 - b.ptrs[2][match])
+
+    space = AddressSpace()
+    nnz_a = a.nnz
+    a_idx_base = space.place(nnz_a * INDEX_BYTES)
+    b_dir_base = space.place(len(lookup) * 2 * INDEX_BYTES)
+    b_j_base = space.place(b.nnz * INDEX_BYTES)
+    out_base = space.place(max(1, matches) * INDEX_BYTES)
+
+    rng = np.random.default_rng(7)
+    dir_probe = rng.integers(0, max(1, len(lookup)),
+                             size=nnz_a) * 2 * INDEX_BYTES
+    j_scan_idx = np.arange(j_scanned, dtype=np.int64) % max(1, b.nnz)
+
+    streams = [
+        AccessStream(a_idx_base + np.arange(nnz_a, dtype=np.int64)
+                     * INDEX_BYTES, INDEX_BYTES, "read", "A kl idxs"),
+        AccessStream(b_dir_base + dir_probe, INDEX_BYTES, "read",
+                     "B fiber directory", dependent=True),
+        AccessStream(b_j_base + j_scan_idx * INDEX_BYTES, INDEX_BYTES,
+                     "read", "B j fibers", dependent=True),
+        AccessStream(out_base + (np.arange(max(1, matches),
+                                           dtype=np.int64)
+                                 % max(1, matches)) * INDEX_BYTES,
+                     INDEX_BYTES, "write", "Z symbolic"),
+    ]
+    steps = nnz_a + j_scanned
+    return KernelTrace(
+        name="sptc",
+        scalar_ops=6 * steps,
+        vector_ops=0,
+        loads=2 * nnz_a + j_scanned + matches,
+        stores=matches,
+        branches=2 * steps,
+        datadep_branches=steps // 2,
+        flops=0.0,
+        streams=streams,
+        dependent_load_fraction=0.5,
+        parallel_units=int(a.idxs[0].size),
+    )

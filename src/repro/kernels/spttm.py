@@ -1,0 +1,32 @@
+"""Sparse Tensor Times Matrix: ``Z_ijl = A_ijk B_kl`` (CSF x dense).
+
+Contracts the last mode of an order-3 CSF tensor against a dense
+matrix; each (i, j) fiber of the tensor produces one dense row of
+length ``L`` in the semi-sparse output.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import WorkloadError
+from ..formats.csf import CsfTensor
+
+
+def spttm(a: CsfTensor, b) -> dict[tuple[int, int], np.ndarray]:
+    """Reference SpTTM returning an (i, j) → dense row map."""
+    if a.ndim != 3:
+        raise WorkloadError("spttm expects an order-3 CSF tensor")
+    b = np.asarray(b, dtype=np.float64)
+    if b.ndim != 2 or b.shape[0] != a.shape[2]:
+        raise WorkloadError("matrix rows must match the last tensor mode")
+    out: dict[tuple[int, int], np.ndarray] = {}
+    for i_node in range(a.idxs[0].size):
+        i = int(a.idxs[0][i_node])
+        jb, je = int(a.ptrs[1][i_node]), int(a.ptrs[1][i_node + 1])
+        for j_node in range(jb, je):
+            j = int(a.idxs[1][j_node])
+            kb, ke = int(a.ptrs[2][j_node]), int(a.ptrs[2][j_node + 1])
+            ks = a.idxs[2][kb:ke]
+            out[(i, j)] = a.vals[kb:ke] @ b[ks]
+    return out

@@ -1,0 +1,112 @@
+"""Set-associative cache model with LRU replacement and MSHR bookkeeping.
+
+The model is *behavioural*: it classifies an ordered address stream into
+hits and misses.  Timing is derived later by the interval core model;
+the MSHR count is carried along as the memory-level-parallelism bound
+of the level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import CacheConfig
+from ..errors import SimulationError
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one cache level."""
+
+    accesses: int = 0
+    hits: int = 0
+
+    @property
+    def misses(self) -> int:
+        return self.accesses - self.hits
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    def merge(self, other: "CacheStats") -> None:
+        self.accesses += other.accesses
+        self.hits += other.hits
+
+
+class Cache:
+    """One set-associative, LRU, write-allocate cache level.
+
+    ``lookup_lines`` consumes *cache line* numbers (byte address >>
+    log2(line)); hits update recency, misses install the line.  The
+    model is inclusive-of-nothing: levels are composed externally by
+    feeding one level's misses into the next.
+    """
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        self.num_sets = config.num_sets
+        self.ways = config.ways
+        if self.num_sets & (self.num_sets - 1):
+            raise SimulationError("cache set count must be a power of two")
+        self._set_mask = self.num_sets - 1
+        # Per-set list of tags in LRU order (index 0 = LRU).
+        self._sets: list[list[int]] = [[] for _ in range(self.num_sets)]
+        self.stats = CacheStats()
+
+    def reset(self) -> None:
+        self._sets = [[] for _ in range(self.num_sets)]
+        self.stats = CacheStats()
+
+    def lookup_lines(self, lines: np.ndarray) -> np.ndarray:
+        """Process line numbers in order; return a boolean hit mask."""
+        lines = np.asarray(lines, dtype=np.int64)
+        hits = np.zeros(lines.size, dtype=bool)
+        sets = self._sets
+        mask = self._set_mask
+        ways = self.ways
+        line_list = lines.tolist()
+        hit_count = 0
+        for k, line in enumerate(line_list):
+            s = sets[line & mask]
+            try:
+                s.remove(line)
+            except ValueError:
+                # miss: install as MRU, evict LRU if full
+                if len(s) >= ways:
+                    s.pop(0)
+                s.append(line)
+            else:
+                s.append(line)
+                hits[k] = True
+                hit_count += 1
+        self.stats.accesses += lines.size
+        self.stats.hits += hit_count
+        return hits
+
+    def contains_line(self, line: int) -> bool:
+        return line in self._sets[line & self._set_mask]
+
+    @property
+    def mshrs(self) -> int:
+        return self.config.mshrs
+
+
+def to_lines(addresses: np.ndarray, line_bytes: int = 64) -> np.ndarray:
+    """Convert byte addresses to cache-line numbers."""
+    shift = int(line_bytes).bit_length() - 1
+    if (1 << shift) != line_bytes:
+        raise SimulationError("line size must be a power of two")
+    return np.asarray(addresses, dtype=np.int64) >> shift
+
+
+def dedup_consecutive(lines: np.ndarray) -> np.ndarray:
+    """Drop immediately repeated line numbers (models the fact that
+    consecutive same-line accesses coalesce into one request)."""
+    lines = np.asarray(lines, dtype=np.int64)
+    if lines.size == 0:
+        return lines
+    keep = np.concatenate(([True], lines[1:] != lines[:-1]))
+    return lines[keep]

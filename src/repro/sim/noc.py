@@ -1,0 +1,49 @@
+"""Mesh network-on-chip latency/contention model (AMBA 5 CHI-style).
+
+The NoC contributes (i) a per-hop latency on every LLC/memory access
+(already folded into :meth:`repro.config.MachineConfig.memory_latency_cycles`)
+and (ii) a throughput ceiling when all cores stream simultaneously.
+This module makes both explicit and adds a simple M/M/1-style
+contention factor used by sensitivity studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import NocConfig
+from ..errors import SimulationError
+
+
+@dataclass
+class NocModel:
+    """Latency/throughput model of a 2-D mesh."""
+
+    config: NocConfig
+    flit_bytes: int = 32
+
+    def hop_latency(self) -> float:
+        return self.config.router_cycles + self.config.link_cycles
+
+    def average_latency(self, utilization: float = 0.0) -> float:
+        """Average one-way latency in cycles at a given utilization.
+
+        Uses the standard queueing inflation ``1 / (1 - u)`` capped to
+        keep the model stable near saturation.
+        """
+        if not 0.0 <= utilization < 1.0:
+            raise SimulationError("utilization must be in [0, 1)")
+        base = self.config.average_hops() * self.hop_latency()
+        inflation = 1.0 / (1.0 - min(utilization, 0.95))
+        return base * inflation
+
+    def bisection_lines_per_cycle(self) -> float:
+        """Cache lines per cycle the mesh bisection sustains."""
+        links = min(self.config.mesh_x, self.config.mesh_y)
+        bytes_per_cycle = links * self.flit_bytes
+        return bytes_per_cycle / 64.0
+
+    def saturation_utilization(self, lines_per_cycle: float) -> float:
+        """Fraction of bisection bandwidth a traffic demand uses."""
+        cap = self.bisection_lines_per_cycle()
+        return min(1.0, lines_per_cycle / cap) if cap else 1.0

@@ -1,0 +1,61 @@
+"""Derived metrics: rooflines, ratios, normalized breakdowns."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import MachineConfig
+from .core import CycleBreakdown
+
+
+@dataclass
+class RooflinePoint:
+    """One point of a roofline plot (Figure 12)."""
+
+    label: str
+    arithmetic_intensity: float
+    gflops: float
+    bandwidth_gbps: float
+
+
+def peak_gflops(machine: MachineConfig) -> float:
+    """Peak double-precision GFLOP/s of the whole chip: per-core FMA
+    throughput at the configured SVE width."""
+    lanes = machine.core.vector_bits // 64
+    fma_per_cycle = 2  # two FMA pipes, as in Neoverse N1-class cores
+    flops_per_cycle = lanes * fma_per_cycle * 2  # FMA = 2 flops
+    return machine.num_cores * flops_per_cycle * machine.core.freq_ghz
+
+
+def peak_bandwidth_gbps(machine: MachineConfig) -> float:
+    """Peak off-chip bandwidth of the whole chip in GB/s."""
+    return machine.memory.total_gbps
+
+
+def roofline_ceiling(machine: MachineConfig, ai: float) -> float:
+    """Attainable GFLOP/s at arithmetic intensity ``ai``."""
+    return min(peak_gflops(machine), peak_bandwidth_gbps(machine) * ai)
+
+
+def roofline_point(label: str, breakdown: CycleBreakdown,
+                   machine: MachineConfig) -> RooflinePoint:
+    """Roofline coordinates of a per-core cycle breakdown, scaled to the
+    whole chip (all cores running symmetric shards)."""
+    cores = machine.num_cores
+    freq = machine.core.freq_ghz
+    return RooflinePoint(
+        label=label,
+        arithmetic_intensity=breakdown.arithmetic_intensity(),
+        gflops=breakdown.gflops(freq) * cores,
+        bandwidth_gbps=breakdown.bandwidth_gbps(freq) * cores,
+    )
+
+
+def nnz_per_row_ceiling(machine: MachineConfig, nnz_per_row: float) -> float:
+    """The dashed compute ceilings of Figure 12c: with ``n`` non-zeros
+    per row, Gustavson SpMSpM performs 2·n flops per (8+4)-byte
+    non-zero read plus amortized row overhead — an intrinsic arithmetic
+    intensity cap independent of the memory system."""
+    bytes_per_nnz = 12.0 + 12.0 / max(1.0, nnz_per_row)
+    ai_cap = 2.0 * 1.0 / bytes_per_nnz * min(nnz_per_row, 64)
+    return roofline_ceiling(machine, ai_cap)

@@ -1,0 +1,90 @@
+"""TMU context switching (paper Section 5.6).
+
+When the OS deschedules a thread using the TMU, it quiesces the engine,
+saves the architectural state, and restores it on reschedule.  The
+minimum context is: the initial configuration (queue types and sizes,
+``beg``/``end`` iteration boundaries), the head of each TU's ``ite``
+stream, and the control registers (outQ base address and write offset).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import TMURuntimeError
+from .engine import TmuEngine
+from .tu import TuState
+
+
+@dataclass(frozen=True)
+class TuContext:
+    """Saved per-TU state."""
+
+    layer: int
+    lane: int
+    state: str
+    current_index: int
+    end_index: int
+    iterations: int
+    fiber_count: int
+
+
+@dataclass(frozen=True)
+class TmuContext:
+    """The architectural state saved on a context switch."""
+
+    program_name: str
+    queue_entries_per_layer: tuple[int, ...]
+    tu_contexts: tuple[TuContext, ...] = field(default_factory=tuple)
+    outq_write_offset: int = 0
+    outq_chunks_completed: int = 0
+
+
+def save_context(engine: TmuEngine) -> TmuContext:
+    """Quiesce and capture the engine's architectural state."""
+    tus = []
+    for group in engine.groups:
+        for tu in group.tus:
+            tus.append(TuContext(
+                layer=tu.layer,
+                lane=tu.lane,
+                state=tu.state.value,
+                current_index=tu._cur,
+                end_index=tu._end,
+                iterations=tu.iterations,
+                fiber_count=tu.fiber_count,
+            ))
+    return TmuContext(
+        program_name=engine.program.name,
+        queue_entries_per_layer=engine.sizing.entries_per_layer,
+        tu_contexts=tuple(tus),
+        outq_write_offset=engine.outq.total_bytes,
+        outq_chunks_completed=engine.outq.chunks_completed,
+    )
+
+
+def restore_context(engine: TmuEngine, context: TmuContext) -> None:
+    """Restore previously saved state into a (re-configured) engine.
+
+    The engine must have been programmed with the same configuration —
+    restoring into a different program is a protocol violation, as it
+    would be in hardware.
+    """
+    if engine.program.name != context.program_name:
+        raise TMURuntimeError(
+            f"context of program {context.program_name!r} cannot be "
+            f"restored into {engine.program.name!r}"
+        )
+    if engine.sizing.entries_per_layer != context.queue_entries_per_layer:
+        raise TMURuntimeError("queue configuration mismatch on restore")
+    tus = [tu for group in engine.groups for tu in group.tus]
+    if len(tus) != len(context.tu_contexts):
+        raise TMURuntimeError("TU count mismatch on restore")
+    for tu, saved in zip(tus, context.tu_contexts):
+        if (tu.layer, tu.lane) != (saved.layer, saved.lane):
+            raise TMURuntimeError("TU placement mismatch on restore")
+        tu._cur = saved.current_index
+        tu._end = saved.end_index
+        tu.iterations = saved.iterations
+        tu.fiber_count = saved.fiber_count
+        tu.state = TuState(saved.state)

@@ -1,0 +1,270 @@
+"""Traversal Units: the per-fiber iteration FSM (paper Section 5.1).
+
+A TU iterates one fiber::
+
+    for (i = beg; i < end; i += stride)
+
+with ``beg``/``end`` either configuration constants (``DnsFbrT``) or
+read from a leftward TU's streams (``RngFbrT``/``IdxFbrT``, Table 1).
+Each ``fite`` step pushes one element into every data stream of the TU
+(all queues advance together) and a ``0`` token into the binary control
+sequence; exhaustion pushes a ``1`` token (``fend``) and re-arms the
+FSM (``fbeg``).
+
+The functional model exposes the FSM through ``begin`` / ``peek`` /
+``consume``: the TG peeks lane heads to merge, then consumes the lanes
+its predicate selects — the queue hand-off of the hardware collapsed to
+a one-slot buffer, which is exact for functional purposes (queue depth
+only affects timing, handled in :mod:`repro.sim.machine`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from ..errors import TMUConfigError, TMURuntimeError
+from .streams import (
+    FwdStream,
+    IteStream,
+    LdrStream,
+    LinStream,
+    MapStream,
+    MemoryArray,
+    MemStream,
+    Stream,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .engine import TmuEngine
+
+
+class PrimitiveKind(enum.Enum):
+    """Traversal primitives of Table 1."""
+
+    DENSE = "DnsFbrT"
+    RANGE = "RngFbrT"
+    INDEX = "IdxFbrT"
+
+
+class TuState(enum.Enum):
+    """TU FSM states (Section 5.1)."""
+
+    FBEG = "fbeg"
+    FITE = "fite"
+    FEND = "fend"
+
+
+@dataclass
+class Slot:
+    """One queue entry: the values of every stream for one iteration."""
+
+    values: dict[Stream, object]
+
+    def __getitem__(self, stream: Stream):
+        return self.values[stream]
+
+
+class TraversalUnit:
+    """One TU: iteration logic plus its tree of data streams."""
+
+    def __init__(self, layer: int, lane: int, kind: PrimitiveKind, *,
+                 beg=0, end=None, size=None, offset: int = 0,
+                 stride: int = 1, name: str = "") -> None:
+        if stride == 0:
+            raise TMUConfigError("TU stride must be non-zero")
+        self.layer = layer
+        self.lane = lane
+        self.kind = kind
+        self.beg = beg
+        self.end = end
+        self.size = size
+        self.offset = offset
+        self.stride = stride
+        self.name = name or f"TU[{layer},{lane}]"
+
+        self.ite = IteStream(f"{self.name}.ite")
+        self.streams: list[Stream] = [self.ite]
+        self._attach(self.ite)
+        self.merge_key: Stream = self.ite
+
+        self._validate_bounds()
+
+        # runtime state
+        self.state = TuState.FBEG
+        self._cur = 0
+        self._end = 0
+        self._fwd_values: dict[Stream, object] = {}
+        self._head: Slot | None = None
+        self.iterations = 0
+        self.fiber_count = 0
+        self.control_tokens: int = 0  # total tokens emitted (0s and 1s)
+
+    # -- configuration -------------------------------------------------
+
+    def _validate_bounds(self) -> None:
+        if self.kind is PrimitiveKind.DENSE:
+            if not isinstance(self.beg, int) or not isinstance(self.end, int):
+                raise TMUConfigError("DnsFbrT needs constant beg/end")
+        elif self.kind is PrimitiveKind.RANGE:
+            if not isinstance(self.beg, Stream) or not isinstance(
+                    self.end, Stream):
+                raise TMUConfigError("RngFbrT needs stream beg/end")
+        elif self.kind is PrimitiveKind.INDEX:
+            if not isinstance(self.beg, Stream):
+                raise TMUConfigError("IdxFbrT needs a stream beg")
+            if not isinstance(self.size, int):
+                raise TMUConfigError("IdxFbrT needs a constant size")
+
+    def _attach(self, stream: Stream) -> None:
+        stream.tu = self
+        stream.index_in_tu = len(self.streams) - 1
+
+    def add_mem_stream(self, array: MemoryArray, parent: Stream | None = None,
+                       offset: int = 0, name: str = "") -> MemStream:
+        """``add_mem_str``: load ``array`` at the parent stream's value
+        (default parent: this TU's ``ite``)."""
+        stream = MemStream(array, parent or self.ite, offset, name)
+        self._check_parent(stream.parent)
+        self.streams.append(stream)
+        self._attach(stream)
+        return stream
+
+    def add_lin_stream(self, a: float, b: float,
+                       parent: Stream | None = None,
+                       name: str = "") -> LinStream:
+        stream = LinStream(a, b, parent or self.ite, name)
+        self._check_parent(stream.parent)
+        self.streams.append(stream)
+        self._attach(stream)
+        return stream
+
+    def add_map_stream(self, table, parent: Stream | None = None,
+                       name: str = "") -> MapStream:
+        stream = MapStream(table, parent or self.ite, name)
+        self._check_parent(stream.parent)
+        self.streams.append(stream)
+        self._attach(stream)
+        return stream
+
+    def add_ldr_stream(self, array: MemoryArray,
+                       parent: Stream | None = None,
+                       name: str = "") -> LdrStream:
+        stream = LdrStream(array, parent or self.ite, name)
+        self._check_parent(stream.parent)
+        self.streams.append(stream)
+        self._attach(stream)
+        return stream
+
+    def add_fwd_stream(self, source: Stream, name: str = "") -> FwdStream:
+        """Forward a leftward TU's stream into this layer."""
+        if source.tu is None or source.tu.layer >= self.layer:
+            raise TMUConfigError(
+                "fwd streams must forward from a leftward (lower) layer"
+            )
+        stream = FwdStream(source, name)
+        self.streams.append(stream)
+        self._attach(stream)
+        return stream
+
+    def _check_parent(self, parent: Stream) -> None:
+        if parent.tu is not self and parent.tu is not None:
+            if parent.tu.layer >= self.layer:
+                raise TMUConfigError(
+                    f"{self.name}: stream parents must live in this TU "
+                    "or a leftward layer"
+                )
+
+    def set_merge_key(self, stream: Stream) -> None:
+        """Designate the stream holding the fiber's coordinate (used by
+        merging TGs to sort lanes).  Defaults to ``ite``."""
+        if stream not in self.streams:
+            raise TMUConfigError("merge key must be one of this TU's streams")
+        self.merge_key = stream
+
+    # -- runtime --------------------------------------------------------
+
+    def begin(self, beg_value: int, end_value: int,
+              fwd_values: dict[Stream, object] | None = None) -> None:
+        """``fbeg``: latch iteration bounds for a new fiber."""
+        self._cur = int(beg_value) + self.offset
+        self._end = int(end_value)
+        self._head = None
+        self._fwd_values = fwd_values or {}
+        self.state = TuState.FITE
+        self.fiber_count += 1
+
+    def resolve_bounds(self, parent_slot: Slot | None) -> tuple[int, int]:
+        """Compute (beg, end) for a new activation given the parent
+        layer's current slot (None for constant-bound TUs)."""
+        if self.kind is PrimitiveKind.DENSE:
+            return int(self.beg), int(self.end)
+        if parent_slot is None:
+            raise TMURuntimeError(
+                f"{self.name}: stream-bound TU activated without a "
+                "parent slot"
+            )
+        beg = int(parent_slot[self.beg])
+        if self.kind is PrimitiveKind.RANGE:
+            return beg, int(parent_slot[self.end])
+        return beg, beg + int(self.size)  # INDEX
+
+    def peek(self, engine: "TmuEngine | None" = None) -> Slot | None:
+        """Return the head slot, producing it if needed; None at fiber
+        end (after emitting the ``fend`` token)."""
+        if self.state is TuState.FBEG:
+            raise TMURuntimeError(f"{self.name}: peek before begin")
+        if self._head is not None:
+            return self._head
+        if self.state is TuState.FEND:
+            return None
+        forward = (self._cur < self._end) if self.stride > 0 else (
+            self._cur > self._end)
+        if not forward:
+            self.state = TuState.FEND
+            self.control_tokens += 1  # the `1` end token
+            return None
+        values: dict[Stream, object] = {}
+        for stream in self.streams:
+            if isinstance(stream, FwdStream):
+                values[stream] = self._fwd_values.get(stream.source)
+                continue
+            if isinstance(stream, IteStream):
+                x = self._cur
+            else:
+                parent = stream.parent  # type: ignore[attr-defined]
+                if parent.tu is self:
+                    x = values[parent]
+                else:
+                    x = self._fwd_values.get(parent)
+                    if x is None:
+                        raise TMURuntimeError(
+                            f"{self.name}: parent value for "
+                            f"{stream.name} not forwarded"
+                        )
+            values[stream] = stream.derive(x)
+            if engine is not None:
+                addr = stream.touched_address(x)
+                if addr is not None:
+                    engine.record_memory_touch(self, stream, addr)
+        self._head = Slot(values)
+        self.control_tokens += 1  # the `0` iteration token
+        return self._head
+
+    def consume(self) -> Slot:
+        """Pop the head slot (the TG selected this lane)."""
+        if self._head is None:
+            raise TMURuntimeError(f"{self.name}: consume without a head")
+        slot = self._head
+        self._head = None
+        self._cur += self.stride
+        self.iterations += 1
+        return slot
+
+    def key_of(self, slot: Slot):
+        return slot[self.merge_key]
+
+    def __repr__(self) -> str:
+        return (f"TraversalUnit({self.name}, {self.kind.value}, "
+                f"streams={len(self.streams)})")

@@ -1,0 +1,45 @@
+"""Shared scalar types and small helpers used across the library."""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: dtype used for coordinate/index arrays throughout the library.
+INDEX_DTYPE = np.int64
+
+#: dtype used for non-zero values throughout the library.
+VALUE_DTYPE = np.float64
+
+#: Size in bytes of one index element as stored by the simulated machine.
+#: The paper's kernels use 32-bit indexes and 64-bit pointers; we model a
+#: uniform 4-byte index like TACO's default.
+INDEX_BYTES = 4
+
+#: Size in bytes of one value element (double precision).
+VALUE_BYTES = 8
+
+#: Cache line size of the simulated machine, in bytes.
+CACHELINE_BYTES = 64
+
+
+def as_index_array(data) -> np.ndarray:
+    """Return ``data`` as a contiguous int64 numpy array."""
+    return np.ascontiguousarray(np.asarray(data, dtype=INDEX_DTYPE))
+
+
+def as_value_array(data) -> np.ndarray:
+    """Return ``data`` as a contiguous float64 numpy array."""
+    return np.ascontiguousarray(np.asarray(data, dtype=VALUE_DTYPE))
+
+
+def geomean(values) -> float:
+    """Geometric mean of a sequence of positive numbers.
+
+    Returns ``nan`` for an empty sequence, mirroring ``numpy.mean``.
+    """
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        return float("nan")
+    if np.any(arr <= 0):
+        raise ValueError("geomean requires strictly positive values")
+    return float(np.exp(np.mean(np.log(arr))))

@@ -1,0 +1,73 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import default_machine, experiment_machine
+from repro.formats.coo import CooMatrix, CooTensor
+from repro.formats.convert import coo_to_csf, coo_to_csr, coo_to_dcsr
+from repro.generators.matrices import uniform_random_matrix
+from repro.generators.tensors import uniform_random_tensor
+
+
+@pytest.fixture(scope="session")
+def machine():
+    """The Table 5 machine."""
+    return default_machine()
+
+
+@pytest.fixture(scope="session")
+def small_machine():
+    """The cache-scaled machine used by experiments."""
+    return experiment_machine("small")
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+@pytest.fixture
+def small_csr():
+    """A 60x60, ~5 nnz/row random CSR matrix."""
+    return uniform_random_matrix(60, 60, 5, seed=7)
+
+
+@pytest.fixture
+def small_coo(small_csr):
+    from repro.formats.convert import csr_to_coo
+
+    return csr_to_coo(small_csr)
+
+
+@pytest.fixture
+def small_dcsr(small_coo):
+    return coo_to_dcsr(small_coo)
+
+
+@pytest.fixture
+def small_tensor():
+    """A 20x16x12 random COO tensor with ~300 stored entries."""
+    return uniform_random_tensor((20, 16, 12), 300, seed=11)
+
+
+@pytest.fixture
+def small_csf(small_tensor):
+    return coo_to_csf(small_tensor)
+
+
+@pytest.fixture
+def figure1_matrix():
+    """The example matrix of the paper's Figure 1:
+
+    rows: (a at (0,0)), (b at (1,2)), (empty), (c at (3,1), d at (3,3))
+    """
+    dense = np.array([
+        [1.0, 0.0, 0.0, 0.0],
+        [0.0, 0.0, 2.0, 0.0],
+        [0.0, 0.0, 0.0, 0.0],
+        [0.0, 3.0, 0.0, 4.0],
+    ])
+    return CooMatrix.from_dense(dense)

@@ -1,0 +1,89 @@
+"""Fiber view and traversal function tests (Section 2.3)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FiberError
+from repro.fibers.fiber import Fiber
+from repro.fibers.traversal import (
+    iter_compressed,
+    iter_coordinates,
+    iter_dense,
+    scan_and_lookup,
+)
+
+
+class TestFiber:
+    def test_requires_increasing_indices(self):
+        with pytest.raises(FiberError):
+            Fiber([2, 1], [1.0, 2.0])
+        with pytest.raises(FiberError):
+            Fiber([1, 1], [1.0, 2.0])
+
+    def test_length_mismatch(self):
+        with pytest.raises(FiberError):
+            Fiber([1, 2], [1.0])
+
+    def test_lookup_binary_search(self):
+        f = Fiber([2, 5, 9], [1.0, 2.0, 3.0])
+        assert f.lookup(5) == 2.0
+        assert f.lookup(3) == 0.0
+        assert f.lookup(100) == 0.0
+
+    def test_from_dense_keeps_zeros(self):
+        f = Fiber.from_dense([0.0, 3.0, 0.0])
+        assert f.nnz == 3
+        assert f.lookup(0) == 0.0
+
+    def test_to_dense(self):
+        f = Fiber([1, 3], [5.0, 7.0])
+        assert f.to_dense(4).tolist() == [0.0, 5.0, 0.0, 7.0]
+
+    def test_to_dense_bounds(self):
+        with pytest.raises(FiberError):
+            Fiber([5], [1.0]).to_dense(3)
+
+    def test_iteration_and_indexing(self):
+        f = Fiber([0, 4], [1.0, 2.0])
+        assert list(f) == [(0, 1.0), (4, 2.0)]
+        assert f[1] == (4, 2.0)
+        assert len(f) == 2
+
+
+class TestTraversals:
+    def test_dense_traversal(self):
+        vals = [10.0, 11.0, 12.0, 13.0]
+        assert list(iter_dense(vals)) == list(enumerate(vals))
+        assert list(iter_dense(vals, beg=1, end=4, stride=2)) == [
+            (1, 11.0), (3, 13.0)]
+
+    def test_compressed_traversal(self, figure1_matrix):
+        from repro.formats.convert import coo_to_csr
+
+        csr = coo_to_csr(figure1_matrix)
+        row3 = list(iter_compressed(csr.ptrs, csr.idxs, csr.vals, 3))
+        assert row3 == [(1, 3.0), (3, 4.0)]
+        assert list(iter_compressed(csr.ptrs, csr.idxs, csr.vals, 2)) == []
+
+    def test_compressed_offset_stride(self, figure1_matrix):
+        from repro.formats.convert import coo_to_csr
+
+        csr = coo_to_csr(figure1_matrix)
+        # offset=1, stride=2 over row 3: just the second element
+        row = list(iter_compressed(csr.ptrs, csr.idxs, csr.vals, 3,
+                                   stride=2, offset=1))
+        assert row == [(3, 4.0)]
+
+    def test_coordinate_traversal(self, small_tensor):
+        seen = list(iter_coordinates(small_tensor.coords,
+                                     small_tensor.values))
+        assert len(seen) == small_tensor.nnz
+        coords = [c for c, _ in seen]
+        assert coords == sorted(coords)
+
+    def test_scan_and_lookup_matches_spmv_row(self, small_csr, rng):
+        b = rng.random(small_csr.num_cols)
+        i = 3
+        total = sum(nv * bv for _, nv, bv in scan_and_lookup(
+            small_csr.ptrs, small_csr.idxs, small_csr.vals, b, i))
+        assert total == pytest.approx(small_csr.to_dense()[i] @ b)

@@ -1,0 +1,48 @@
+"""Dense container tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.formats.dense import DenseMatrix, DenseVector
+
+
+class TestDenseVector:
+    def test_zeros(self):
+        v = DenseVector.zeros(5)
+        assert v.size == 5 and not v.values.any()
+
+    def test_indexing(self):
+        v = DenseVector([1.0, 2.0, 3.0])
+        v[1] = 9.0
+        assert v[1] == 9.0
+        assert list(v) == [1.0, 9.0, 3.0]
+
+    def test_rejects_2d(self):
+        with pytest.raises(FormatError):
+            DenseVector([[1.0, 2.0]])
+
+    def test_nbytes(self):
+        assert DenseVector.zeros(10).nbytes() == 80
+
+
+class TestDenseMatrix:
+    def test_rows_are_contiguous_fibers(self):
+        m = DenseMatrix(np.arange(12.0).reshape(3, 4))
+        row = m.row(1)
+        assert row.tolist() == [4.0, 5.0, 6.0, 7.0]
+        assert row.flags["C_CONTIGUOUS"]
+
+    def test_rejects_1d(self):
+        with pytest.raises(FormatError):
+            DenseMatrix([1.0, 2.0])
+
+    def test_negative_dims_rejected(self):
+        with pytest.raises(FormatError):
+            DenseMatrix.zeros(-1, 3)
+
+    def test_to_numpy_is_a_copy(self):
+        m = DenseMatrix.zeros(2, 2)
+        n = m.to_numpy()
+        n[0, 0] = 5.0
+        assert m[0, 0] == 0.0

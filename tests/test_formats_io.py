@@ -1,0 +1,84 @@
+"""MatrixMarket / FROSTT text I/O tests."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.formats.io import (
+    matrix_to_string,
+    read_matrix_market,
+    read_tns,
+    write_matrix_market,
+    write_tns,
+)
+
+
+class TestMatrixMarket:
+    def test_round_trip_string(self, small_coo):
+        text = matrix_to_string(small_coo)
+        again = read_matrix_market(io.StringIO(text))
+        assert again == small_coo
+
+    def test_round_trip_file(self, small_coo, tmp_path):
+        path = tmp_path / "m.mtx"
+        write_matrix_market(small_coo, path)
+        assert read_matrix_market(path) == small_coo
+
+    def test_pattern_matrices_get_unit_values(self):
+        text = ("%%MatrixMarket matrix coordinate pattern general\n"
+                "2 2 2\n1 1\n2 2\n")
+        m = read_matrix_market(io.StringIO(text))
+        assert m.values.tolist() == [1.0, 1.0]
+
+    def test_symmetric_expansion(self):
+        text = ("%%MatrixMarket matrix coordinate real symmetric\n"
+                "3 3 2\n2 1 5.0\n3 3 7.0\n")
+        m = read_matrix_market(io.StringIO(text))
+        dense = m.to_dense()
+        assert dense[1, 0] == 5.0 and dense[0, 1] == 5.0
+        assert dense[2, 2] == 7.0
+        assert m.nnz == 3  # diagonal entry not duplicated
+
+    def test_comment_lines_skipped(self):
+        text = ("%%MatrixMarket matrix coordinate real general\n"
+                "% a comment\n% another\n1 1 1\n1 1 2.5\n")
+        m = read_matrix_market(io.StringIO(text))
+        assert m.values.tolist() == [2.5]
+
+    def test_bad_header_rejected(self):
+        with pytest.raises(FormatError):
+            read_matrix_market(io.StringIO("garbage\n1 1 0\n"))
+
+    def test_unsupported_kind_rejected(self):
+        text = "%%MatrixMarket matrix array real general\n"
+        with pytest.raises(FormatError):
+            read_matrix_market(io.StringIO(text))
+
+
+class TestTns:
+    def test_round_trip(self, small_tensor, tmp_path):
+        path = tmp_path / "t.tns"
+        write_tns(small_tensor, path)
+        again = read_tns(path, shape=small_tensor.shape)
+        assert again == small_tensor
+
+    def test_shape_inferred_when_missing(self):
+        text = "1 2 3 1.5\n4 5 6 2.5\n"
+        t = read_tns(io.StringIO(text))
+        assert t.shape == (4, 5, 6)
+        assert t.nnz == 2
+
+    def test_comments_and_blank_lines(self):
+        text = "# header\n\n1 1 1.0\n"
+        t = read_tns(io.StringIO(text))
+        assert t.nnz == 1
+
+    def test_inconsistent_arity_rejected(self):
+        with pytest.raises(FormatError):
+            read_tns(io.StringIO("1 2 3 1.0\n1 2 1.0\n"))
+
+    def test_empty_file_rejected(self):
+        with pytest.raises(FormatError):
+            read_tns(io.StringIO(""))

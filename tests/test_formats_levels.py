@@ -1,0 +1,101 @@
+"""Tests for the level-format abstraction (Chou et al., Section 2.2)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.formats.convert import csr_to_coo
+from repro.formats.coo import CooTensor
+from repro.formats.levels import (
+    CompressedLevel,
+    DenseLevel,
+    LevelTensor,
+    SingletonLevel,
+    build_level_tensor,
+)
+
+
+class TestLevelPrimitives:
+    def test_dense_level_positions(self):
+        level = DenseLevel(4, parent_positions=3)
+        assert level.fiber_bounds(2) == (8, 12)
+        assert level.coordinate(9) == 1
+        assert level.num_positions() == 12
+        assert level.nbytes() == 0
+
+    def test_compressed_level(self):
+        level = CompressedLevel([0, 1, 2, 2, 4], [0, 2, 1, 3])
+        assert level.fiber_bounds(3) == (2, 4)
+        assert level.coordinate(2) == 1
+        assert list(level.iter_fiber(3)) == [(1, 2), (3, 3)]
+
+    def test_compressed_level_validation(self):
+        with pytest.raises(FormatError):
+            CompressedLevel([1, 2], [0])
+        with pytest.raises(FormatError):
+            CompressedLevel([0, 2], [0])
+
+    def test_singleton_level(self):
+        level = SingletonLevel([5, 7, 9])
+        assert level.fiber_bounds(1) == (1, 2)
+        assert level.coordinate(2) == 9
+
+
+class TestFormatSpecs:
+    """CSR = (dense, compressed); DCSR = (compressed, compressed);
+    COO = (compressed_nonunique, singleton); CSF = all compressed."""
+
+    def test_csr_spec(self, figure1_matrix):
+        lt = build_level_tensor(figure1_matrix, ("dense", "compressed"))
+        assert lt.format_spec() == ("dense", "compressed")
+        assert np.allclose(lt.to_dense(), figure1_matrix.to_dense())
+        # level 1 must be exactly the CSR arrays of Figure 1b
+        assert lt.levels[1].ptrs.tolist() == [0, 1, 2, 2, 4]
+        assert lt.levels[1].idxs.tolist() == [0, 2, 1, 3]
+
+    def test_dcsr_spec(self, figure1_matrix):
+        lt = build_level_tensor(figure1_matrix,
+                                ("compressed", "compressed"))
+        assert np.allclose(lt.to_dense(), figure1_matrix.to_dense())
+        # root level stores only non-empty rows
+        assert lt.levels[0].idxs.tolist() == [0, 1, 3]
+
+    def test_coo_spec(self, figure1_matrix):
+        lt = build_level_tensor(
+            figure1_matrix, ("compressed_nonunique", "singleton"))
+        assert np.allclose(lt.to_dense(), figure1_matrix.to_dense())
+        assert lt.levels[0].idxs.tolist() == [0, 1, 3, 3]
+        assert lt.levels[1].idxs.tolist() == [0, 2, 1, 3]
+
+    def test_csf_spec(self, small_tensor):
+        lt = build_level_tensor(
+            small_tensor, ("compressed", "compressed", "compressed"))
+        assert np.allclose(lt.to_dense(), small_tensor.to_dense())
+
+    def test_all_dense_spec(self, figure1_matrix):
+        lt = build_level_tensor(figure1_matrix, ("dense", "dense"))
+        assert np.allclose(lt.to_dense(), figure1_matrix.to_dense())
+        assert lt.nnz == 16  # fully materialized
+
+    def test_iter_nonzeros_lexicographic(self, small_coo):
+        lt = build_level_tensor(small_coo, ("dense", "compressed"))
+        coords = [c for c, v in lt.iter_nonzeros() if v != 0.0]
+        assert coords == sorted(coords)
+
+
+class TestValidation:
+    def test_unknown_kind(self, figure1_matrix):
+        with pytest.raises(FormatError):
+            build_level_tensor(figure1_matrix, ("dense", "banana"))
+
+    def test_spec_arity(self, figure1_matrix):
+        with pytest.raises(FormatError):
+            build_level_tensor(figure1_matrix, ("dense",))
+
+    def test_singleton_needs_nonunique_parent(self, figure1_matrix):
+        with pytest.raises(FormatError):
+            build_level_tensor(figure1_matrix, ("dense", "singleton"))
+
+    def test_level_tensor_alignment(self):
+        with pytest.raises(FormatError):
+            LevelTensor((2,), [DenseLevel(2)], [1.0])

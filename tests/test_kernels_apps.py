@@ -1,0 +1,87 @@
+"""Application kernels: PageRank and triangle counting, validated
+against networkx."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.formats.csr import CsrMatrix
+from repro.generators import uniform_random_matrix
+from repro.kernels import pagerank, triangle_count
+from repro.kernels.triangle import lower_triangle
+
+
+def _symmetric_graph(n=60, p=0.1, seed=3):
+    rng = np.random.default_rng(seed)
+    dense = (rng.random((n, n)) < p).astype(float)
+    dense = np.maximum(dense, dense.T)
+    np.fill_diagonal(dense, 0.0)
+    return CsrMatrix.from_dense(dense)
+
+
+class TestTriangleCount:
+    def test_matches_networkx(self):
+        adj = _symmetric_graph()
+        g = nx.from_numpy_array(adj.to_dense())
+        expected = sum(nx.triangles(g).values()) // 3
+        assert triangle_count(lower_triangle(adj)) == expected
+
+    def test_known_triangle(self):
+        dense = np.zeros((3, 3))
+        dense[[0, 1, 0], [1, 2, 2]] = 1.0
+        dense = np.maximum(dense, dense.T)
+        adj = CsrMatrix.from_dense(dense)
+        assert triangle_count(lower_triangle(adj)) == 1
+
+    def test_triangle_free_graph(self):
+        # a path graph has no triangles
+        dense = np.zeros((5, 5))
+        for i in range(4):
+            dense[i, i + 1] = dense[i + 1, i] = 1.0
+        assert triangle_count(lower_triangle(
+            CsrMatrix.from_dense(dense))) == 0
+
+    def test_lower_triangle_strictness(self):
+        adj = _symmetric_graph(20, 0.3)
+        lt = lower_triangle(adj)
+        row_of = np.repeat(np.arange(lt.num_rows), lt.row_nnz())
+        assert np.all(lt.idxs < row_of)
+
+    def test_nonsquare_rejected(self):
+        bad = uniform_random_matrix(4, 5, 2, seed=0)
+        with pytest.raises(WorkloadError):
+            triangle_count(bad)
+
+
+class TestPageRank:
+    def test_matches_networkx(self):
+        adj = _symmetric_graph(50, 0.12, seed=7)
+        ours = pagerank(adj, damping=0.85, iterations=80)
+        g = nx.from_numpy_array(adj.to_dense().T, create_using=nx.DiGraph)
+        theirs = nx.pagerank(g, alpha=0.85, max_iter=200, tol=1e-12)
+        theirs_vec = np.array([theirs[i] for i in range(adj.num_rows)])
+        assert np.allclose(ours, theirs_vec, atol=1e-4)
+
+    def test_rank_mass_bounded(self):
+        # Dangling nodes leak rank mass (GAP PR does not redistribute),
+        # so the sum is at most 1 and positive.
+        square = uniform_random_matrix(40, 40, 4, seed=2)
+        ranks = pagerank(square, iterations=30)
+        assert 0.5 < ranks.sum() <= 1.0 + 1e-9
+        assert np.all(ranks > 0)
+
+    def test_tolerance_early_exit(self):
+        adj = _symmetric_graph(30, 0.2, seed=9)
+        r1 = pagerank(adj, iterations=500, tolerance=1e-12)
+        r2 = pagerank(adj, iterations=500, tolerance=0.0)
+        assert np.allclose(r1, r2, atol=1e-6)
+
+    def test_nonsquare_rejected(self):
+        bad = uniform_random_matrix(4, 5, 2, seed=0)
+        with pytest.raises(WorkloadError):
+            pagerank(bad)
+
+    def test_empty_graph(self):
+        empty = CsrMatrix((0, 0), [0], [], [])
+        assert pagerank(empty).size == 0

@@ -1,0 +1,143 @@
+"""Tensor-kernel correctness tests against einsum references."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import WorkloadError
+from repro.formats.convert import coo_to_csf
+from repro.generators import uniform_random_tensor
+from repro.kernels import (
+    cp_als,
+    mttkrp,
+    sptc_numeric,
+    sptc_symbolic,
+    spttm,
+    spttv,
+)
+
+
+class TestMttkrp:
+    def test_matches_einsum_mode0(self, small_tensor, rng):
+        b = rng.random((16, 6))
+        c = rng.random((12, 6))
+        ref = np.einsum("ikl,kj,lj->ij", small_tensor.to_dense(), b, c)
+        assert np.allclose(mttkrp(small_tensor, b, c), ref)
+
+    @pytest.mark.parametrize("mode,spec", [
+        (0, "ikl,kj,lj->ij"), (1, "kil,kj,lj->ij"), (2, "kli,kj,lj->ij"),
+    ])
+    def test_all_modes(self, small_tensor, rng, mode, spec):
+        dense = small_tensor.to_dense()
+        axes = [m for m in range(3) if m != mode]
+        b = rng.random((small_tensor.shape[axes[0]], 5))
+        c = rng.random((small_tensor.shape[axes[1]], 5))
+        moved = np.moveaxis(dense, mode, 0)
+        ref = np.einsum("ikl,kj,lj->ij", moved, b, c)
+        assert np.allclose(mttkrp(small_tensor, b, c, mode=mode), ref)
+
+    def test_rank_mismatch(self, small_tensor, rng):
+        with pytest.raises(WorkloadError):
+            mttkrp(small_tensor, rng.random((16, 6)),
+                   rng.random((12, 7)))
+
+    def test_extent_mismatch(self, small_tensor, rng):
+        with pytest.raises(WorkloadError):
+            mttkrp(small_tensor, rng.random((99, 6)),
+                   rng.random((12, 6)))
+
+
+class TestSptc:
+    @given(st.integers(0, 25))
+    @settings(max_examples=10, deadline=None)
+    def test_numeric_matches_einsum(self, seed):
+        a = coo_to_csf(uniform_random_tensor((8, 7, 6), 60, seed=seed))
+        b = coo_to_csf(uniform_random_tensor((6, 7, 9), 60,
+                                             seed=seed + 100))
+        out = sptc_numeric(a, b)
+        ref = np.einsum("ikl,lkj->ij", a.to_dense(), b.to_dense())
+        dd = np.zeros_like(ref)
+        for (i, j), v in out.items():
+            dd[i, j] = v
+        assert np.allclose(dd, ref)
+
+    def test_symbolic_counts_distinct_js(self):
+        a = coo_to_csf(uniform_random_tensor((6, 5, 4), 40, seed=3))
+        b = coo_to_csf(uniform_random_tensor((4, 5, 7), 40, seed=4))
+        counts = sptc_symbolic(a, b)
+        numeric = sptc_numeric(a, b)
+        per_i: dict[int, set] = {}
+        for (i, j) in numeric:
+            per_i.setdefault(i, set()).add(j)
+        # the symbolic phase upper-bounds numeric structure (numeric
+        # cancellation aside, they should coincide for random values)
+        order = {int(c): n for n, c in enumerate(a.idxs[0])}
+        for i, js in per_i.items():
+            assert counts[order[i]] == len(js)
+
+    def test_arity_check(self, small_csf):
+        bad = coo_to_csf(uniform_random_tensor((4, 4), 10, seed=0))
+        with pytest.raises(WorkloadError):
+            sptc_symbolic(small_csf, bad)
+
+
+class TestSpttv:
+    def test_matches_einsum(self, small_csf, rng):
+        v = rng.random(small_csf.shape[2])
+        out = spttv(small_csf, v)
+        ref = np.einsum("ijk,k->ij", small_csf.to_dense(), v)
+        for (i, j), val in out.items():
+            assert val == pytest.approx(ref[i, j])
+        assert len(out) == small_csf.idxs[1].size
+
+    def test_vector_length_check(self, small_csf):
+        with pytest.raises(WorkloadError):
+            spttv(small_csf, np.zeros(small_csf.shape[2] + 1))
+
+
+class TestSpttm:
+    def test_matches_einsum(self, small_csf, rng):
+        m = rng.random((small_csf.shape[2], 4))
+        out = spttm(small_csf, m)
+        ref = np.einsum("ijk,kr->ijr", small_csf.to_dense(), m)
+        for (i, j), row in out.items():
+            assert np.allclose(row, ref[i, j])
+
+    def test_matrix_shape_check(self, small_csf, rng):
+        with pytest.raises(WorkloadError):
+            spttm(small_csf, rng.random((small_csf.shape[2] + 1, 4)))
+
+
+class TestCpAls:
+    def test_fit_improves_and_reconstructs(self):
+        # A genuinely low-rank tensor: CP-ALS must fit it ~exactly.
+        rng = np.random.default_rng(0)
+        a = rng.random((8, 3))
+        b = rng.random((7, 3))
+        c = rng.random((6, 3))
+        dense = np.einsum("ir,jr,kr->ijk", a, b, c)
+        from repro.formats.coo import CooTensor
+
+        t = CooTensor.from_dense(dense)
+        result = cp_als(t, rank=3, iterations=60, seed=1)
+        assert result.fit_history[-1] > 0.99
+        assert result.fit_history[-1] >= result.fit_history[0] - 1e-9
+        assert np.allclose(result.reconstruct(), dense, atol=0.05)
+
+    def test_bad_rank(self, small_tensor):
+        with pytest.raises(WorkloadError):
+            cp_als(small_tensor, 0)
+
+    def test_fit_history_length(self, small_tensor):
+        result = cp_als(small_tensor, 4, iterations=3)
+        assert len(result.fit_history) == 3
+
+    def test_tolerance_stops_early(self):
+        rng = np.random.default_rng(0)
+        dense = np.einsum("ir,jr->ij", rng.random((5, 1)),
+                          rng.random((4, 1)))[:, :, None] * np.ones(3)
+        from repro.formats.coo import CooTensor
+
+        t = CooTensor.from_dense(dense)
+        result = cp_als(t, rank=2, iterations=50, tolerance=1e-6)
+        assert len(result.fit_history) < 50

@@ -1,0 +1,117 @@
+"""Merge machinery tests (Section 2.4), incl. property-based checks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import FiberError
+from repro.fibers.fiber import Fiber
+from repro.fibers.merge import (
+    conjunctive_merge,
+    disjunctive_merge,
+    lockstep_coiterate,
+    merge_to_fiber,
+    reduce_by_index,
+)
+
+
+def fiber_strategy(max_index=20, max_len=10):
+    return st.lists(
+        st.integers(0, max_index), max_size=max_len, unique=True
+    ).map(lambda idx: Fiber(
+        np.sort(np.asarray(idx, dtype=np.int64)),
+        np.arange(1.0, len(idx) + 1.0), validate=False))
+
+
+class TestFigure2:
+    """The exact example of the paper's Figure 2."""
+
+    @pytest.fixture
+    def fibers(self):
+        a = Fiber([0, 2, 3], [1.0, 2.0, 3.0])     # A: a _ b c
+        b = Fiber([0, 1, 3], [10.0, 20.0, 30.0])  # B: d e _ f
+        return [a, b]
+
+    def test_disjunctive_masks(self, fibers):
+        points = list(disjunctive_merge(fibers))
+        # paper: msk stream is 11, 01, 10, 11
+        assert [p.mask for p in points] == [0b11, 0b10, 0b01, 0b11]
+        assert [p.index for p in points] == [0, 1, 2, 3]
+
+    def test_disjunctive_sums(self, fibers):
+        out = merge_to_fiber(disjunctive_merge(fibers))
+        assert out.indices.tolist() == [0, 1, 2, 3]
+        assert out.values.tolist() == [11.0, 20.0, 2.0, 33.0]
+
+    def test_conjunctive_intersection(self, fibers):
+        points = list(conjunctive_merge(fibers))
+        assert [p.index for p in points] == [0, 3]
+        assert all(p.mask == 0b11 for p in points)
+
+    def test_conjunctive_products(self, fibers):
+        out = merge_to_fiber(conjunctive_merge(fibers), combine="prod")
+        assert out.indices.tolist() == [0, 3]
+        assert out.values.tolist() == [10.0, 90.0]
+
+
+class TestProperties:
+    @given(st.lists(fiber_strategy(), min_size=1, max_size=5))
+    @settings(max_examples=60, deadline=None)
+    def test_disjunctive_is_union(self, fibers):
+        points = list(disjunctive_merge(fibers))
+        expected = sorted(set().union(
+            *[set(f.indices.tolist()) for f in fibers]))
+        assert [p.index for p in points] == expected
+
+    @given(st.lists(fiber_strategy(), min_size=1, max_size=5))
+    @settings(max_examples=60, deadline=None)
+    def test_conjunctive_is_intersection(self, fibers):
+        points = list(conjunctive_merge(fibers))
+        expected = sorted(set.intersection(
+            *[set(f.indices.tolist()) for f in fibers]))
+        assert [p.index for p in points] == expected
+
+    @given(st.lists(fiber_strategy(), min_size=2, max_size=4))
+    @settings(max_examples=60, deadline=None)
+    def test_disjunctive_sum_matches_dense(self, fibers):
+        size = 21
+        out = merge_to_fiber(disjunctive_merge(fibers))
+        expected = sum(f.to_dense(size) for f in fibers)
+        assert np.allclose(out.to_dense(size), expected)
+
+    @given(st.lists(fiber_strategy(), min_size=1, max_size=4))
+    @settings(max_examples=40, deadline=None)
+    def test_masks_cover_every_element_once(self, fibers):
+        consumed = [0] * len(fibers)
+        for p in disjunctive_merge(fibers):
+            for lane in p.active_lanes():
+                consumed[lane] += 1
+        assert consumed == [f.nnz for f in fibers]
+
+
+class TestLockstep:
+    def test_pads_shorter_fibers(self):
+        a = Fiber([0, 1, 2], [1.0, 2.0, 3.0])
+        b = Fiber([0, 5], [10.0, 20.0])
+        points = list(lockstep_coiterate([a, b]))
+        assert len(points) == 3
+        assert points[2].mask == 0b01
+        assert points[2].values == (3.0, 0.0)
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(FiberError):
+            list(lockstep_coiterate([]))
+
+
+class TestReduce:
+    def test_accumulates_duplicates(self):
+        out = reduce_by_index([1, 1, 3, 3, 3], [1.0, 2.0, 3.0, 4.0, 5.0])
+        assert out.indices.tolist() == [1, 3]
+        assert out.values.tolist() == [3.0, 12.0]
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(FiberError):
+            reduce_by_index([3, 1], [1.0, 2.0])
+
+    def test_empty(self):
+        assert reduce_by_index([], []).nnz == 0

@@ -1,0 +1,150 @@
+"""Tests for multicore partitioning and the SpMSpM schedules."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import experiment_machine
+from repro.errors import SimulationError, WorkloadError
+from repro.generators import uniform_random_matrix
+from repro.kernels import spmspm
+from repro.kernels.schedules import (
+    schedule_merge_work,
+    spmspm_inner_product,
+    spmspm_outer_product,
+)
+from repro.sim.parallel import (
+    ParallelResult,
+    core_scaling,
+    parallel_speedup,
+    partition_rows,
+    run_parallel,
+)
+
+
+class TestPartitioning:
+    def test_covers_all_rows_contiguously(self):
+        shards = partition_rows([1] * 10, 3)
+        assert shards[0][0] == 0 and shards[-1][1] == 10
+        for (b1, e1), (b2, e2) in zip(shards, shards[1:]):
+            assert e1 == b2
+
+    def test_balances_by_weight(self):
+        # one heavy row at the front: the first shard should be tiny
+        weights = [100] + [1] * 99
+        shards = partition_rows(weights, 2)
+        w = np.asarray(weights)
+        first = w[shards[0][0]:shards[0][1]].sum()
+        second = w[shards[1][0]:shards[1][1]].sum()
+        assert abs(first - second) <= 100
+
+    def test_more_parts_than_rows(self):
+        shards = partition_rows([1, 1], 5)
+        assert len(shards) == 5
+        assert shards[0][0] == 0 and shards[-1][1] == 2
+
+    def test_empty_rows(self):
+        assert partition_rows([], 3) == [(0, 0)] * 3
+
+    def test_invalid_parts(self):
+        with pytest.raises(SimulationError):
+            partition_rows([1], 0)
+
+    @given(st.lists(st.integers(0, 50), min_size=1, max_size=200),
+           st.integers(1, 8))
+    @settings(max_examples=40, deadline=None)
+    def test_partition_is_exact_cover(self, weights, parts):
+        shards = partition_rows(weights, parts)
+        covered = []
+        for beg, end in shards:
+            covered.extend(range(beg, end))
+        assert covered == list(range(len(weights)))
+
+
+class TestParallelRuns:
+    def test_slowest_shard_dominates(self, small_machine):
+        weights = [1] * 64
+        result = run_parallel(lambda b, e: float(e - b) * 100, weights,
+                              small_machine)
+        assert result.total_cycles == pytest.approx(
+            max(result.shard_cycles))
+        assert result.imbalance >= 1.0
+
+    def test_bandwidth_floor_binds(self, small_machine):
+        result = run_parallel(lambda b, e: 1.0, [1] * 8, small_machine,
+                              total_mem_bytes=1e9)
+        assert result.total_cycles == pytest.approx(
+            result.bandwidth_floor)
+
+    def test_speedup_helper(self):
+        assert parallel_speedup([1] * 64, 8) == pytest.approx(8.0)
+        # a single dominant row caps scaling
+        assert parallel_speedup([1000] + [1] * 7, 8) < 1.2
+
+    def test_core_scaling_knee(self, small_machine):
+        # compute-light, traffic-heavy workload saturates early
+        curve = core_scaling(small_machine, per_core_cycles=1000.0,
+                             per_core_mem_bytes=1e6,
+                             core_counts=(1, 2, 4, 8, 16))
+        assert curve[1] == pytest.approx(1.0)
+        assert curve[16] == curve[8]  # bandwidth wall
+        # compute-heavy workload keeps scaling
+        curve2 = core_scaling(small_machine, per_core_cycles=1e9,
+                              per_core_mem_bytes=10.0,
+                              core_counts=(1, 8))
+        assert curve2[8] == pytest.approx(8.0, rel=0.01)
+
+    def test_core_scaling_validation(self, small_machine):
+        with pytest.raises(SimulationError):
+            core_scaling(small_machine, 1.0, 1.0, (0,))
+
+
+class TestSchedules:
+    @pytest.fixture
+    def operands(self):
+        a = uniform_random_matrix(14, 12, 3, seed=71)
+        b = uniform_random_matrix(12, 16, 3, seed=72)
+        return a, b
+
+    def test_all_schedules_agree(self, operands):
+        a, b = operands
+        reference = a.to_dense() @ b.to_dense()
+        assert np.allclose(spmspm(a, b).to_dense(), reference)
+        assert np.allclose(spmspm_inner_product(a, b).to_dense(),
+                           reference)
+        assert np.allclose(spmspm_outer_product(a, b).to_dense(),
+                           reference)
+
+    def test_dimension_checks(self, operands):
+        a, _ = operands
+        bad = uniform_random_matrix(5, 5, 2, seed=1)
+        with pytest.raises(WorkloadError):
+            spmspm_inner_product(a, bad)
+        with pytest.raises(WorkloadError):
+            spmspm_outer_product(a, bad)
+
+    def test_gustavson_does_least_merge_work(self, operands):
+        """The paper's rationale for the (ikj) schedule: on sparse
+        outputs Gustavson traverses far fewer elements than the inner
+        product and no more than the outer product."""
+        a, b = operands
+        work = schedule_merge_work(a, b)
+        assert work["ikj"] <= work["kij"]
+        assert work["ikj"] < work["ijk"]
+
+    def test_merge_work_matches_gustavson_scan(self, operands):
+        a, b = operands
+        work = schedule_merge_work(a, b)
+        scanned = int(np.diff(b.ptrs)[a.idxs].sum())
+        assert work["ikj"] == scanned
+
+    @given(st.integers(0, 30))
+    @settings(max_examples=8, deadline=None)
+    def test_schedules_agree_on_random_inputs(self, seed):
+        a = uniform_random_matrix(8, 9, 2, seed=seed)
+        b = uniform_random_matrix(9, 7, 2, seed=seed + 50)
+        reference = a.to_dense() @ b.to_dense()
+        assert np.allclose(spmspm_outer_product(a, b).to_dense(),
+                           reference)
+        assert np.allclose(spmspm_inner_product(a, b).to_dense(),
+                           reference)

@@ -1,0 +1,184 @@
+"""Table 4 completeness: every kernel's TMU program computes the same
+result as its golden software kernel, on the functional engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import TMUConfig
+from repro.fibers.fiber import Fiber
+from repro.formats.convert import coo_to_csf
+from repro.generators import uniform_random_matrix, uniform_random_tensor
+from repro.kernels import (
+    split_rows_cyclic,
+    sptc_symbolic,
+    spttm,
+    spttv,
+    triangle_count,
+)
+from repro.kernels.triangle import lower_triangle
+from repro.programs import (
+    build_mttkrp_program,
+    build_spkadd_program,
+    build_spmm_program,
+    build_spmspm_program,
+    build_spmspv_program,
+    build_spmv_program,
+    build_sptc_program,
+    build_spttm_program,
+    build_spttv_program,
+    build_triangle_program,
+)
+from repro.tmu import TmuEngine
+
+
+def run(built):
+    engine = TmuEngine(built.program)
+    stats = engine.run(built.handlers)
+    return built.result(), stats, engine
+
+
+@pytest.fixture
+def matrix():
+    return uniform_random_matrix(30, 30, 4, seed=13)
+
+
+@pytest.fixture
+def vector(rng, matrix):
+    return rng.random(matrix.num_cols)
+
+
+class TestSpmvVariants:
+    @pytest.mark.parametrize("lanes", [1, 2, 4, 8])
+    def test_lanes_invariant(self, matrix, vector, lanes):
+        """P0 (lanes=1) and P1 (multi-lane) produce identical results."""
+        built = build_spmv_program(matrix, vector, lanes=lanes)
+        out, stats, _ = run(built)
+        assert np.allclose(out, matrix.to_dense() @ vector)
+        # layer 1 touches every non-zero exactly once, any lane count
+        assert stats.layer_iterations[1] == matrix.nnz
+
+    def test_outq_and_callbacks(self, matrix, vector):
+        built = build_spmv_program(matrix, vector, lanes=2)
+        _, stats, _ = run(built)
+        assert stats.callback_counts["re"] == matrix.num_rows
+        expected_ri = int(np.sum(-(-matrix.row_nnz() // 2)))
+        assert stats.callback_counts["ri"] == expected_ri
+        assert stats.outq_records == expected_ri + matrix.num_rows
+        assert stats.outq_bytes > 0
+
+    def test_memory_requests_cover_operands(self, matrix, vector):
+        built = build_spmv_program(matrix, vector, lanes=2)
+        _, stats, engine = run(built)
+        # every idx/val element touched once; gathers at least once
+        assert stats.memory_touches >= 3 * matrix.nnz
+        assert stats.memory_lines > 0
+
+    @given(st.integers(0, 30))
+    @settings(max_examples=10, deadline=None)
+    def test_random_matrices(self, seed):
+        a = uniform_random_matrix(15, 15, 3, seed=seed)
+        b = np.random.default_rng(seed).random(15)
+        built = build_spmv_program(a, b, lanes=2)
+        out, _, _ = run(built)
+        assert np.allclose(out, a.to_dense() @ b)
+
+
+class TestOtherKernels:
+    def test_spmspv(self, matrix, rng):
+        idx = np.sort(rng.choice(matrix.num_cols, 7, replace=False))
+        sv = Fiber(idx, rng.random(7))
+        built = build_spmspv_program(matrix, sv)
+        out, _, _ = run(built)
+        assert np.allclose(out,
+                           matrix.to_dense() @ sv.to_dense(matrix.num_cols))
+
+    def test_spmm(self, matrix, rng):
+        b = rng.random((matrix.num_cols, 5))
+        built = build_spmm_program(matrix, b, lanes=2)
+        out, _, _ = run(built)
+        assert np.allclose(out, matrix.to_dense() @ b)
+
+    def test_spmspm(self, matrix):
+        at = matrix.transpose()
+        built = build_spmspm_program(matrix, at, lanes=2)
+        out, _, _ = run(built)
+        assert np.allclose(out.to_dense(),
+                           matrix.to_dense() @ at.to_dense())
+
+    def test_spkadd(self, matrix):
+        parts = split_rows_cyclic(matrix, 4)
+        built = build_spkadd_program(parts)
+        out, stats, _ = run(built)
+        assert np.allclose(out.to_dense(),
+                           sum(p.to_dense() for p in parts))
+        # both layers merge: gites recorded
+        assert stats.layer_merge_steps[0] > 0
+        assert stats.layer_merge_steps[1] > 0
+
+    def test_triangle(self):
+        g = uniform_random_matrix(40, 40, 5, seed=21)
+        lt = lower_triangle(g)
+        built = build_triangle_program(lt)
+        out, _, _ = run(built)
+        assert out == triangle_count(lt)
+
+    def test_mttkrp(self, rng):
+        t = uniform_random_tensor((10, 8, 6), 120, seed=5)
+        b = rng.random((8, 4))
+        c = rng.random((6, 4))
+        built = build_mttkrp_program(t, b, c)
+        out, _, _ = run(built)
+        ref = np.einsum("ikl,kj,lj->ij", t.to_dense(), b, c)
+        assert np.allclose(out, ref)
+
+    def test_spttv(self, rng):
+        csf = coo_to_csf(uniform_random_tensor((9, 8, 7), 100, seed=6))
+        v = rng.random(7)
+        built = build_spttv_program(csf, v)
+        out, _, _ = run(built)
+        assert out == pytest.approx(spttv(csf, v))
+
+    def test_spttm(self, rng):
+        csf = coo_to_csf(uniform_random_tensor((9, 8, 7), 100, seed=6))
+        m = rng.random((7, 3))
+        built = build_spttm_program(csf, m)
+        out, _, _ = run(built)
+        ref = spttm(csf, m)
+        assert set(out) == set(ref)
+        for key in ref:
+            assert np.allclose(out[key], ref[key])
+
+    def test_sptc(self):
+        ta = coo_to_csf(uniform_random_tensor((8, 7, 6), 90, seed=7))
+        tb = coo_to_csf(uniform_random_tensor((6, 7, 9), 90, seed=8))
+        built = build_sptc_program(ta, tb)
+        out, _, _ = run(built)
+        assert np.array_equal(out, sptc_symbolic(ta, tb))
+
+
+class TestEngineConstraints:
+    def test_program_wider_than_engine_rejected(self, matrix, vector):
+        from repro.errors import TMUConfigError
+
+        built = build_spmv_program(matrix, vector, lanes=4)
+        with pytest.raises(TMUConfigError):
+            TmuEngine(built.program, TMUConfig(lanes=2))
+
+    def test_queue_sizing_attached(self, matrix, vector):
+        built = build_spmv_program(matrix, vector, lanes=2)
+        _, stats, _ = run(built)
+        assert stats.queue_sizing is not None
+        assert stats.queue_sizing.utilization > 0.5
+
+    def test_results_independent_of_chunk_size(self, matrix, vector):
+        built1 = build_spmv_program(matrix, vector, lanes=2)
+        eng1 = TmuEngine(built1.program,
+                         TMUConfig(outq_chunk_bytes=256))
+        eng1.run(built1.handlers)
+        out1 = built1.result()
+        built2 = build_spmv_program(matrix, vector, lanes=2)
+        eng2 = TmuEngine(built2.program,
+                         TMUConfig(outq_chunk_bytes=16384))
+        eng2.run(built2.handlers)
+        assert np.allclose(out1, built2.result())

@@ -1,0 +1,107 @@
+"""Chunk-level outQ pipeline simulation tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SimulationError
+from repro.sim.pipeline import (
+    PipelineResult,
+    chunk_times_from_totals,
+    simulate_outq_pipeline,
+)
+
+
+class TestBasics:
+    def test_single_chunk_serializes(self):
+        r = simulate_outq_pipeline([10.0], [5.0])
+        assert r.total_cycles == 15.0
+        assert r.consumer_stalled == 10.0
+        assert r.producer_stalled == 0.0
+
+    def test_perfect_overlap_producer_bound(self):
+        # producer 10/chunk, consumer 5/chunk: steady state hides the
+        # consumer entirely after the first fill.
+        r = simulate_outq_pipeline([10.0] * 20, [5.0] * 20)
+        assert r.total_cycles == pytest.approx(20 * 10 + 5)
+        assert r.read_to_write == pytest.approx(0.5)
+
+    def test_consumer_bound_with_double_buffering(self):
+        # consumer 10/chunk, producer 5/chunk: the producer runs ahead
+        # by at most `buffers` chunks, then stalls.
+        r = simulate_outq_pipeline([5.0] * 20, [10.0] * 20, buffers=2)
+        assert r.total_cycles == pytest.approx(5 + 20 * 10)
+        assert r.producer_stalled > 0
+
+    def test_more_buffers_never_slower(self):
+        rng = np.random.default_rng(0)
+        produce = rng.uniform(1, 10, 50)
+        consume = rng.uniform(1, 10, 50)
+        t2 = simulate_outq_pipeline(produce, consume, buffers=2)
+        t4 = simulate_outq_pipeline(produce, consume, buffers=4)
+        t8 = simulate_outq_pipeline(produce, consume, buffers=8)
+        assert t4.total_cycles <= t2.total_cycles + 1e-9
+        assert t8.total_cycles <= t4.total_cycles + 1e-9
+
+    def test_empty(self):
+        r = simulate_outq_pipeline([], [])
+        assert r.total_cycles == 0.0
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            simulate_outq_pipeline([1.0], [1.0, 2.0])
+        with pytest.raises(SimulationError):
+            simulate_outq_pipeline([-1.0], [1.0])
+        with pytest.raises(SimulationError):
+            simulate_outq_pipeline([1.0], [1.0], buffers=0)
+
+
+class TestProperties:
+    @given(st.lists(st.floats(0.1, 20.0), min_size=1, max_size=60),
+           st.lists(st.floats(0.1, 20.0), min_size=1, max_size=60))
+    @settings(max_examples=50, deadline=None)
+    def test_bounds(self, produce, consume):
+        n = min(len(produce), len(consume))
+        produce, consume = produce[:n], consume[:n]
+        r = simulate_outq_pipeline(produce, consume)
+        # never faster than either side alone, never slower than their sum
+        assert r.total_cycles >= max(sum(produce), sum(consume)) - 1e-6
+        assert r.total_cycles <= sum(produce) + sum(consume) + 1e-6
+
+    @given(st.lists(st.floats(0.5, 10.0), min_size=2, max_size=40))
+    @settings(max_examples=30, deadline=None)
+    def test_chunk_completions_monotonic(self, times):
+        r = simulate_outq_pipeline(times, list(reversed(times)))
+        assert all(a <= b + 1e-9 for a, b in zip(
+            r.chunk_completions, r.chunk_completions[1:]))
+
+    @given(st.floats(10.0, 1000.0), st.floats(10.0, 1000.0),
+           st.integers(1, 50))
+    @settings(max_examples=40, deadline=None)
+    def test_split_preserves_totals(self, tp, tc, chunks):
+        p, c = chunk_times_from_totals(tp, tc, chunks, cv=0.8, seed=1)
+        assert p.sum() == pytest.approx(tp)
+        assert c.sum() == pytest.approx(tc)
+        assert np.all(p > 0) and np.all(c > 0)
+
+
+class TestAgreementWithClosedForm:
+    def test_uniform_chunks_match_run_tmu_composition(self):
+        """With uniform chunks the simulation reduces to the closed
+        form max(producer, consumer) + one-chunk fill."""
+        n = 64
+        produce, consume = 7.0, 3.0
+        r = simulate_outq_pipeline([produce] * n, [consume] * n)
+        closed = max(n * produce, n * consume) + consume
+        assert r.total_cycles == pytest.approx(closed, rel=0.02)
+
+    def test_variability_costs_time(self):
+        """Irregular chunks (heavy rows) lengthen the pipeline versus
+        uniform chunks of the same aggregate work — the effect the
+        closed form ignores."""
+        p_u, c_u = chunk_times_from_totals(1000, 900, 50, cv=0.0)
+        p_v, c_v = chunk_times_from_totals(1000, 900, 50, cv=1.2,
+                                           seed=3)
+        uniform = simulate_outq_pipeline(p_u, c_u)
+        varied = simulate_outq_pipeline(p_v, c_v)
+        assert varied.total_cycles >= uniform.total_cycles

@@ -1,0 +1,84 @@
+"""Context switching (Section 5.6) and area model (Section 6) tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TMUConfigError, TMURuntimeError
+from repro.generators import uniform_random_matrix
+from repro.programs import build_spmv_program
+from repro.tmu import TmuEngine, save_context, restore_context
+from repro.tmu.area import (
+    PAPER_CORE_FRACTION,
+    PAPER_LANE_MM2,
+    PAPER_TOTAL_MM2,
+    TmuAreaModel,
+    paper_configuration,
+)
+
+
+class TestContext:
+    def _engine(self, seed=3):
+        a = uniform_random_matrix(20, 20, 3, seed=seed)
+        b = np.random.default_rng(seed).random(20)
+        built = build_spmv_program(a, b, lanes=2)
+        return TmuEngine(built.program), built
+
+    def test_save_restore_round_trip(self):
+        engine, built = self._engine()
+        engine.run(built.handlers)
+        ctx = save_context(engine)
+        assert ctx.program_name == "spmv"
+        assert len(ctx.tu_contexts) == 3  # 1 row TU + 2 column TUs
+        # restoring into an identically-configured engine succeeds
+        engine2, _ = self._engine()
+        restore_context(engine2, ctx)
+        tus = [tu for g in engine2.groups for tu in g.tus]
+        assert [t.iterations for t in tus] == [
+            t.iterations for t in ctx.tu_contexts]
+
+    def test_restore_into_wrong_program_rejected(self):
+        engine, built = self._engine()
+        ctx = save_context(engine)
+        a = uniform_random_matrix(20, 20, 3, seed=9)
+        other = build_spmv_program(a, np.zeros(20), lanes=2,
+                                   name="different")
+        with pytest.raises(TMURuntimeError):
+            restore_context(TmuEngine(other.program), ctx)
+
+    def test_context_records_outq_offset(self):
+        engine, built = self._engine()
+        engine.run(built.handlers)
+        ctx = save_context(engine)
+        assert ctx.outq_write_offset == engine.outq.total_bytes
+
+
+class TestAreaModel:
+    def test_paper_configuration_reproduces_totals(self):
+        model = paper_configuration()
+        assert model.total_mm2() == pytest.approx(PAPER_TOTAL_MM2,
+                                                  rel=1e-6)
+        assert model.lane_mm2() == pytest.approx(PAPER_LANE_MM2,
+                                                 rel=1e-6)
+        assert model.core_fraction() == pytest.approx(
+            PAPER_CORE_FRACTION, rel=1e-6)
+
+    def test_area_scales_with_lanes(self):
+        small = TmuAreaModel(lanes=4)
+        big = TmuAreaModel(lanes=16)
+        assert small.total_mm2() < paper_configuration().total_mm2()
+        assert big.total_mm2() > paper_configuration().total_mm2()
+
+    def test_area_scales_with_storage(self):
+        lean = TmuAreaModel(per_lane_storage_bytes=1024)
+        fat = TmuAreaModel(per_lane_storage_bytes=4096)
+        assert lean.total_mm2() < fat.total_mm2()
+
+    def test_validation(self):
+        with pytest.raises(TMUConfigError):
+            TmuAreaModel(lanes=0)
+        with pytest.raises(TMUConfigError):
+            TmuAreaModel(per_lane_storage_bytes=-1)
+
+    def test_remains_a_small_core_fraction_when_doubled(self):
+        doubled = TmuAreaModel(lanes=16, per_lane_storage_bytes=4096)
+        assert doubled.core_fraction() < 0.06

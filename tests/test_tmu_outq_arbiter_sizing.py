@@ -1,0 +1,111 @@
+"""outQ, memory arbiter and queue sizing tests (Sections 5.3-5.5)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TMUConfigError
+from repro.tmu.arbiter import MemoryArbiter
+from repro.tmu.outq import MaskValue, OutQueue, OutQueueRecord
+from repro.tmu.sizing import MIN_ENTRIES, QueueSizing, size_queues
+from repro.tmu.streams import MemoryArray
+from repro.tmu.tu import PrimitiveKind, TraversalUnit
+
+
+class TestOutQueue:
+    def test_record_sizing(self):
+        rec = OutQueueRecord("ri", ((1.0, 2.0), 3.0, MaskValue(0b11)),
+                             0b11, 1)
+        # header 4 + vec 16 + scalar 8 + mask 2
+        assert rec.nbytes() == 30
+
+    def test_chunk_accounting(self):
+        q = OutQueue(chunk_bytes=64)
+        rec = OutQueueRecord("ri", ((1.0,) * 7,), 0, 0)  # 4 + 56 = 60 B
+        q.push(rec)
+        assert q.chunks_completed == 0
+        q.push(rec)
+        assert q.chunks_completed == 1
+        assert q.num_chunks == 2  # one full + one partial
+
+    def test_drain(self):
+        q = OutQueue()
+        q.push(OutQueueRecord("a", (), 0, 0))
+        assert len(q.drain()) == 1
+        assert q.num_records == 0
+
+    def test_chunk_must_fit_a_record(self):
+        with pytest.raises(TMUConfigError):
+            OutQueue(chunk_bytes=4)
+
+
+class TestArbiter:
+    def _tu_with_streams(self, layer, lane):
+        tu = TraversalUnit(layer, lane, PrimitiveKind.DENSE, beg=0,
+                           end=8)
+        arr = MemoryArray(np.arange(8.0), base_address=(lane + 1) << 30,
+                          elem_bytes=8, name=f"a{layer}{lane}")
+        return tu, tu.add_mem_stream(arr), arr
+
+    def test_consecutive_same_line_coalesces(self):
+        arb = MemoryArbiter()
+        tu, stream, arr = self._tu_with_streams(0, 0)
+        for i in range(8):  # 8 elements x 8 B = one cache line
+            arb.record_touch(tu, stream, arr.address_of(i))
+        assert arb.total_touches == 8
+        assert arb.total_line_requests == 1
+        assert arb.total_bytes() == 64
+
+    def test_line_revisits_are_new_requests(self):
+        arb = MemoryArbiter()
+        tu, stream, arr = self._tu_with_streams(0, 0)
+        arb.record_touch(tu, stream, arr.address_of(0))
+        arb.record_touch(tu, stream, (1 << 31))
+        arb.record_touch(tu, stream, arr.address_of(0))
+        assert arb.total_line_requests == 3
+
+    def test_priority_order(self):
+        """Leftmost layers first, lanes round-robin, config order."""
+        arb = MemoryArbiter()
+        tu1, s1, a1 = self._tu_with_streams(1, 0)
+        tu0, s0, a0 = self._tu_with_streams(0, 0)
+        arb.record_touch(tu1, s1, a1.address_of(0))
+        arb.record_touch(tu0, s0, a0.address_of(0))
+        order = arb.priority_order()
+        assert order[0].layer == 0
+        assert order[1].layer == 1
+
+    def test_access_streams_export(self):
+        arb = MemoryArbiter()
+        tu, stream, arr = self._tu_with_streams(0, 0)
+        arb.record_touch(tu, stream, arr.address_of(0))
+        exported = arb.access_streams()
+        assert len(exported) == 1
+        assert exported[0].elem_bytes == 64
+        assert exported[0].kind == "read"
+
+
+class TestSizing:
+    def test_rightmost_layers_get_deeper_queues(self):
+        sizing = size_queues([2, 3], [100.0, 10000.0], 2048)
+        assert sizing.entries(1) > sizing.entries(0)
+        assert sizing.per_lane_bytes_used <= 2048
+
+    def test_minimum_entries_guaranteed(self):
+        sizing = size_queues([2, 2], [1.0, 1e9], 2048)
+        assert sizing.entries(0) >= MIN_ENTRIES
+
+    def test_storage_overflow_rejected(self):
+        with pytest.raises(TMUConfigError):
+            size_queues([8, 8], [1.0, 1.0], 100)
+
+    def test_zero_volume_falls_back_to_even_split(self):
+        sizing = size_queues([2, 2], [0.0, 0.0], 2048)
+        assert sizing.entries(0) == sizing.entries(1)
+
+    def test_utilization_bounded(self):
+        sizing = size_queues([3, 4], [10.0, 80.0], 2048)
+        assert 0.5 < sizing.utilization <= 1.0
+
+    def test_alignment_validation(self):
+        with pytest.raises(TMUConfigError):
+            size_queues([2], [1.0, 2.0], 2048)
