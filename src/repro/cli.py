@@ -2,36 +2,58 @@
 
 Usage::
 
-    python -m repro fig10 [--scale small|medium|paper]
-    python -m repro all --scale small
+    python -m repro fig10 [--scale small|medium|paper] [--jobs 4]
+    python -m repro all --scale small --cache-dir .repro-cache
+    python -m repro fig10 --workloads spmv,spkadd --jobs 2 --no-cache
+    python -m repro cache-gc          # reclaim stale cache entries
     tmu-repro table6
+
+Simulation cells are executed through :mod:`repro.runtime`: results
+are cached content-addressed under ``--cache-dir`` (default
+``.repro-cache``), ``--jobs N`` fans cache misses out over N worker
+processes, and every invocation writes a run manifest (task hashes,
+wall times, cache hits, failures) next to the cache.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+import time
+from pathlib import Path
 
+from . import runtime
+from .errors import ReproError
 from .eval import experiments as ex
+from .runtime.manifest import RunManifest
 
+#: name -> callable(scale, workloads); drivers without a workload
+#: filter ignore the second argument.
 _COMMANDS = {
-    "fig03": lambda scale: ex.render_fig03(ex.fig03_motivation(scale)),
-    "fig10": lambda scale: ex.render_fig10(ex.fig10_speedups(scale)),
-    "fig11": lambda scale: ex.render_fig11(ex.fig11_breakdown(scale)),
-    "fig12": lambda scale: ex.render_fig12(ex.fig12_roofline(scale)),
-    "fig13": lambda scale: ex.render_fig13(
-        ex.fig13_read_to_write(scale)),
-    "fig14": lambda scale: ex.render_fig14(ex.fig14_sensitivity(scale)),
-    "fig15": lambda scale: ex.render_fig15(
+    "fig03": lambda scale, w: ex.render_fig03(ex.fig03_motivation(scale)),
+    "fig10": lambda scale, w: ex.render_fig10(
+        ex.fig10_speedups(scale, workloads=w or ex.FIG10_WORKLOADS)),
+    "fig11": lambda scale, w: ex.render_fig11(
+        ex.fig11_breakdown(scale, workloads=w or ex.FIG10_WORKLOADS)),
+    "fig12": lambda scale, w: ex.render_fig12(ex.fig12_roofline(scale)),
+    "fig13": lambda scale, w: ex.render_fig13(
+        ex.fig13_read_to_write(scale, workloads=w or ex.FIG10_WORKLOADS)),
+    "fig14": lambda scale, w: ex.render_fig14(
+        ex.fig14_sensitivity(scale,
+                             workloads=w or ("spmv", "spmspm"))),
+    "fig15": lambda scale, w: ex.render_fig15(
         ex.fig15_state_of_the_art(scale)),
-    "table5": lambda scale: ex.render_table5(
+    "table5": lambda scale, w: ex.render_table5(
         ex.table5_parameters(scale)),
-    "table6": lambda scale: ex.render_table6(ex.table6_inputs(scale)),
-    "area": lambda scale: ex.render_area(ex.area_results()),
+    "table6": lambda scale, w: ex.render_table6(ex.table6_inputs(scale)),
+    "area": lambda scale, w: ex.render_area(ex.area_results()),
 }
 
+_CACHE_COMMANDS = ("cache-gc", "cache-clear")
 
-def main(argv: list[str] | None = None) -> int:
+
+def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="tmu-repro",
         description=(
@@ -42,8 +64,10 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(_COMMANDS) + ["all"],
-        help="which artifact to regenerate",
+        choices=sorted(_COMMANDS) + ["all"] + list(_CACHE_COMMANDS),
+        help="which artifact to regenerate (or a cache maintenance "
+             "action: cache-gc reclaims entries from older code "
+             "versions, cache-clear drops everything)",
     )
     parser.add_argument(
         "--scale",
@@ -57,24 +81,144 @@ def main(argv: list[str] | None = None) -> int:
         metavar="DIR",
         help="also write each artifact to DIR/<name>.txt",
     )
-    args = parser.parse_args(argv)
+    parser.add_argument(
+        "--jobs", "-j",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for simulation cells (default: 1, "
+             "serial in-process)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=runtime.DEFAULT_CACHE_DIR,
+        metavar="DIR",
+        help="content-addressed result cache location (default: "
+             f"{runtime.DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk result cache for this run",
+    )
+    parser.add_argument(
+        "--workloads",
+        default=None,
+        metavar="W1,W2",
+        help="comma-separated workload filter for fig10/fig11/fig13/"
+             "fig14 (e.g. spmv,spkadd)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SEC",
+        help="per-cell timeout in seconds (enforced in --jobs>1 mode)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        metavar="N",
+        help="retry budget per failed cell (default: 1)",
+    )
+    parser.add_argument(
+        "--manifest",
+        default=None,
+        metavar="PATH",
+        help="write the run manifest to PATH (default: "
+             "<cache-dir>/manifests/run-<timestamp>.json when caching "
+             "is enabled)",
+    )
+    return parser
+
+
+def _combined_manifest(rt: runtime.Runtime) -> RunManifest | None:
+    """Merge the manifests of every executor batch this invocation ran
+    into one provenance record."""
+    if not rt.manifests:
+        return None
+    combined = RunManifest(
+        jobs=rt.jobs,
+        mode=rt.manifests[-1].mode,
+        created_at=rt.manifests[0].created_at,
+        wall_time=sum(m.wall_time for m in rt.manifests),
+        entries=[e for m in rt.manifests for e in m.entries],
+    )
+    return combined
+
+
+def _run_cache_command(action: str, args) -> int:
+    if args.no_cache:
+        print("cache maintenance requires the cache; drop --no-cache",
+              file=sys.stderr)
+        return 2
+    cache = runtime.ResultCache(Path(args.cache_dir))
+    if action == "cache-gc":
+        removed = cache.gc()
+        print(f"cache-gc: reclaimed {removed} stale entries from "
+              f"{cache.root} ({len(cache)} live)")
+    else:
+        removed = cache.invalidate()
+        print(f"cache-clear: removed {removed} entries from {cache.root}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.experiment in _CACHE_COMMANDS:
+        return _run_cache_command(args.experiment, args)
+
+    workloads = None
+    if args.workloads:
+        workloads = tuple(w.strip() for w in args.workloads.split(",")
+                          if w.strip())
+
+    try:
+        rt = runtime.configure(
+            jobs=args.jobs,
+            cache_dir=None if args.no_cache else args.cache_dir,
+            timeout=args.timeout,
+            retries=args.retries,
+            progress=lambda msg: print(msg, file=sys.stderr),
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
     out_dir = None
     if args.output is not None:
-        from pathlib import Path
-
         out_dir = Path(args.output)
         out_dir.mkdir(parents=True, exist_ok=True)
 
     names = sorted(_COMMANDS) if args.experiment == "all" else [
         args.experiment]
-    for name in names:
-        rendered = _COMMANDS[name](args.scale)
-        print(rendered)
-        print()
-        if out_dir is not None:
-            (out_dir / f"{name}.txt").write_text(rendered + "\n",
-                                                 encoding="utf-8")
+    try:
+        for name in names:
+            rendered = _COMMANDS[name](args.scale, workloads)
+            print(rendered)
+            print()
+            if out_dir is not None:
+                (out_dir / f"{name}.txt").write_text(rendered + "\n",
+                                                     encoding="utf-8")
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    manifest = _combined_manifest(rt)
+    if manifest is not None:
+        print(manifest.summary(), file=sys.stderr)
+        manifest_path = args.manifest
+        if manifest_path is None and not args.no_cache:
+            # millisecond stamp + pid so back-to-back invocations never
+            # overwrite each other's provenance
+            manifest_path = (
+                Path(args.cache_dir) / "manifests" /
+                f"run-{int(time.time() * 1000)}-{os.getpid()}.json")
+        if manifest_path is not None:
+            path = manifest.write(manifest_path)
+            print(f"manifest: {path}", file=sys.stderr)
     return 0
 
 

@@ -44,3 +44,8 @@ class SimulationError(ReproError):
 
 class WorkloadError(ReproError):
     """An experiment/workload registry lookup or execution failed."""
+
+
+class ExecutorError(ReproError):
+    """The experiment runtime could not complete a batch of simulation
+    tasks (cells failed beyond the retry budget or timed out)."""

@@ -3,6 +3,12 @@
 Every driver returns a plain data structure (dict / list of rows) plus
 a ``render_*`` companion that formats it as text, so the benchmark
 harness, the CLI and the tests all share one implementation.
+
+Drivers do not simulate directly: each declares its (workload × input
+× machine-variant) sweep as :class:`~repro.runtime.SimTask` cells and
+submits the whole batch through the active :mod:`repro.runtime`
+executor, which layers content-addressed result caching and process-
+pool parallelism (``--jobs``) under every figure uniformly.
 """
 
 from __future__ import annotations
@@ -19,6 +25,7 @@ from ..config import (
 from ..generators.matrices import fixed_nnz_per_row_matrix
 from ..generators.suite import MATRIX_SUITE, TENSOR_SUITE, load_matrix, \
     load_tensor, matrix_ids
+from ..runtime import SimTask, active_runtime
 from ..sim.stats import (
     RooflinePoint,
     nnz_per_row_ceiling,
@@ -31,8 +38,8 @@ from ..types import geomean
 from .reporting import heatmap_table, text_table
 from .workloads import (
     WORKLOADS,
+    WorkloadRun,
     inputs_for,
-    run_workload,
 )
 
 #: the paper's workload order in Figure 10/11 (linear then tensor)
@@ -50,6 +57,23 @@ PAPER_CATEGORY_GEOMEANS = {"memory": 3.58, "compute": 2.82,
                            "merge": 4.94}
 
 
+def _submit(tasks: list[SimTask]) -> dict[SimTask, WorkloadRun]:
+    """Run a batch of cells through the active experiment runtime."""
+    return active_runtime().run_cells(tasks)
+
+
+def _sweep(scale: str, workloads: tuple[str, ...],
+           ) -> dict[tuple[str, str], WorkloadRun]:
+    """The standard (workload × suite-input) sweep, keyed by cell."""
+    tasks = {
+        (workload, input_id): SimTask(workload, input_id, scale=scale)
+        for workload in workloads
+        for input_id in inputs_for(workload)
+    }
+    runs = _submit(list(tasks.values()))
+    return {cell: runs[task] for cell, task in tasks.items()}
+
+
 # ---------------------------------------------------------------- Fig. 3
 
 def fig03_motivation(scale: str = "small") -> list[dict]:
@@ -60,21 +84,26 @@ def fig03_motivation(scale: str = "small") -> list[dict]:
         "a64fx": scale_caches(a64fx_like(), divisor),
         "graviton3": scale_caches(graviton3_like(), divisor),
     }
+    tasks = {
+        (host_name, workload, input_id): SimTask(
+            workload, input_id, scale=scale, variants=("baseline",),
+            machine=machine)
+        for host_name, machine in hosts.items()
+        for workload in ("spmv", "spmspm", "spadd")
+        for input_id in matrix_ids()
+    }
+    runs = _submit(list(tasks.values()))
     rows = []
-    for host_name, machine in hosts.items():
-        for workload in ("spmv", "spmspm", "spadd"):
-            for input_id in matrix_ids():
-                run = run_workload(workload, input_id, machine, scale,
-                                   variants=("baseline",))
-                commit, fe, be = run.baseline.breakdown.normalized()
-                rows.append({
-                    "host": host_name,
-                    "workload": workload,
-                    "input": input_id,
-                    "committing": commit,
-                    "frontend": fe,
-                    "backend": be,
-                })
+    for (host_name, workload, input_id), task in tasks.items():
+        commit, fe, be = runs[task].baseline.breakdown.normalized()
+        rows.append({
+            "host": host_name,
+            "workload": workload,
+            "input": input_id,
+            "committing": commit,
+            "frontend": fe,
+            "backend": be,
+        })
     return rows
 
 
@@ -91,24 +120,26 @@ def render_fig03(rows: list[dict]) -> str:
 
 # --------------------------------------------------------------- Fig. 10
 
-def fig10_speedups(scale: str = "small") -> dict:
+def fig10_speedups(scale: str = "small",
+                   workloads: tuple[str, ...] = FIG10_WORKLOADS) -> dict:
     """TMU speedup over the software baseline for every workload and
     input, with per-workload and per-category geomeans."""
-    machine = experiment_machine(scale)
+    runs = _sweep(scale, workloads)
     per_workload: dict[str, dict[str, float]] = {}
-    for workload in FIG10_WORKLOADS:
-        per_workload[workload] = {}
-        for input_id in inputs_for(workload):
-            run = run_workload(workload, input_id, machine, scale)
-            per_workload[workload][input_id] = run.speedup
+    for workload in workloads:
+        per_workload[workload] = {
+            input_id: runs[(workload, input_id)].speedup
+            for input_id in inputs_for(workload)
+        }
     geomeans = {w: geomean(vals.values())
                 for w, vals in per_workload.items()}
     categories = {}
     for category in ("memory", "compute", "merge"):
-        vals = [s for w in FIG10_WORKLOADS
+        vals = [s for w in workloads
                 if WORKLOADS[w].category == category
                 for s in per_workload[w].values()]
-        categories[category] = geomean(vals)
+        if vals:
+            categories[category] = geomean(vals)
     return {"per_workload": per_workload, "geomeans": geomeans,
             "categories": categories}
 
@@ -127,13 +158,15 @@ def render_fig10(data: dict) -> str:
 
 # --------------------------------------------------------------- Fig. 11
 
-def fig11_breakdown(scale: str = "small") -> list[dict]:
+def fig11_breakdown(scale: str = "small",
+                    workloads: tuple[str, ...] = FIG10_WORKLOADS,
+                    ) -> list[dict]:
     """Cycle breakdowns and load-to-use latency, baseline vs TMU."""
-    machine = experiment_machine(scale)
+    runs = _sweep(scale, workloads)
     rows = []
-    for workload in FIG10_WORKLOADS:
+    for workload in workloads:
         for input_id in inputs_for(workload):
-            run = run_workload(workload, input_id, machine, scale)
+            run = runs[(workload, input_id)]
             for system, result in (("baseline", run.baseline),
                                    ("tmu", run.tmu)):
                 commit, fe, be = result.breakdown.normalized()
@@ -167,6 +200,7 @@ def fig12_roofline(scale: str = "small") -> dict:
     """Roofline data: (a) workload geomeans, (b) SpMV, (c) SpMSpM with
     nnz/row ceilings, (d) SpKAdd."""
     machine = experiment_machine(scale)
+    runs = _sweep(scale, FIG10_WORKLOADS)
     out: dict = {
         "peak_gflops": peak_gflops(machine),
         "peak_bandwidth_gbps": peak_bandwidth_gbps(machine),
@@ -182,7 +216,7 @@ def fig12_roofline(scale: str = "small") -> dict:
         for system in ("baseline", "tmu"):
             ais, gfs, bws = [], [], []
             for input_id in inputs_for(workload):
-                run = run_workload(workload, input_id, machine, scale)
+                run = runs[(workload, input_id)]
                 result = run.baseline if system == "baseline" else run.tmu
                 point = roofline_point(f"{workload}/{system}",
                                        result.breakdown, machine)
@@ -201,7 +235,7 @@ def fig12_roofline(scale: str = "small") -> dict:
                             ("d", "spkadd")):
         points = []
         for input_id in inputs_for(workload):
-            run = run_workload(workload, input_id, machine, scale)
+            run = runs[(workload, input_id)]
             for system, result in (("baseline", run.baseline),
                                    ("tmu", run.tmu)):
                 points.append(roofline_point(
@@ -254,14 +288,16 @@ def render_fig12(data: dict) -> str:
 
 # --------------------------------------------------------------- Fig. 13
 
-def fig13_read_to_write(scale: str = "small") -> dict[str, float]:
+def fig13_read_to_write(scale: str = "small",
+                        workloads: tuple[str, ...] = FIG10_WORKLOADS,
+                        ) -> dict[str, float]:
     """Geomean read-to-write ratio per workload."""
-    machine = experiment_machine(scale)
+    runs = _sweep(scale, workloads)
     out = {}
-    for workload in FIG10_WORKLOADS:
+    for workload in workloads:
         ratios = []
         for input_id in inputs_for(workload):
-            run = run_workload(workload, input_id, machine, scale)
+            run = runs[(workload, input_id)]
             if run.tmu and run.tmu.read_to_write:
                 ratios.append(run.tmu.read_to_write)
         out[workload] = geomean(ratios) if ratios else float("nan")
@@ -293,21 +329,32 @@ def fig14_sensitivity(scale: str = "small",
     heatmap.
     """
     base = experiment_machine(scale)
-    out: dict[str, np.ndarray] = {}
+    # Declare the whole (storage × width × workload × input) sweep up
+    # front so the runtime can fan every cell out at once.
+    tasks: dict[tuple, SimTask] = {}
     for workload in workloads:
-        grid = np.zeros((len(FIG14_STORAGE_KB), len(FIG14_SVE_BITS)))
-        for i, kb in enumerate(FIG14_STORAGE_KB):
-            for j, bits in enumerate(FIG14_SVE_BITS):
+        for kb in FIG14_STORAGE_KB:
+            for bits in FIG14_SVE_BITS:
                 lanes = max(1, bits // 64)
                 machine = base.with_core(vector_bits=bits).with_tmu(
                     lanes=lanes,
                     per_lane_storage_bytes=kb * 1024 // lanes,
                 )
-                inv_cycles = []
                 for input_id in inputs_for(workload):
-                    run = run_workload(workload, input_id, machine,
-                                       scale)
-                    inv_cycles.append(1.0 / run.tmu.cycles)
+                    tasks[(workload, kb, bits, input_id)] = SimTask(
+                        workload, input_id, scale=scale, machine=machine)
+    runs = _submit(list(tasks.values()))
+
+    out: dict[str, np.ndarray] = {}
+    for workload in workloads:
+        grid = np.zeros((len(FIG14_STORAGE_KB), len(FIG14_SVE_BITS)))
+        for i, kb in enumerate(FIG14_STORAGE_KB):
+            for j, bits in enumerate(FIG14_SVE_BITS):
+                inv_cycles = [
+                    1.0 / runs[tasks[(workload, kb, bits, input_id)]]
+                    .tmu.cycles
+                    for input_id in inputs_for(workload)
+                ]
                 grid[i, j] = geomean(inv_cycles)
         ref = grid[FIG14_STORAGE_KB.index(16),
                    FIG14_SVE_BITS.index(512)]
@@ -331,15 +378,19 @@ def render_fig14(data: dict[str, np.ndarray]) -> str:
 
 def fig15_state_of_the_art(scale: str = "small") -> dict:
     """IMP vs Single-Lane vs TMU on SpMV and SpMSpM."""
-    machine = experiment_machine(scale)
+    tasks = {
+        (workload, input_id): SimTask(
+            workload, input_id, scale=scale,
+            variants=("baseline", "tmu", "single_lane", "imp"))
+        for workload in ("spmv", "spmspm")
+        for input_id in inputs_for(workload)
+    }
+    runs = _submit(list(tasks.values()))
     out: dict = {}
     for workload in ("spmv", "spmspm"):
         rows = {}
         for input_id in inputs_for(workload):
-            run = run_workload(
-                workload, input_id, machine, scale,
-                variants=("baseline", "tmu", "single_lane", "imp"),
-            )
+            run = runs[tasks[(workload, input_id)]]
             rows[input_id] = {
                 "imp": run.baseline.cycles / run.imp.cycles,
                 "single_lane": run.baseline.cycles / (

@@ -207,6 +207,10 @@ def workload_ids(category: str | None = None) -> list[str]:
 
 
 def inputs_for(workload_id: str) -> list[str]:
+    if workload_id not in WORKLOADS:
+        raise WorkloadError(
+            f"unknown workload {workload_id!r}; known: {sorted(WORKLOADS)}"
+        )
     spec = WORKLOADS[workload_id]
     return matrix_ids() if spec.input_kind == "matrix" else tensor_ids()
 

@@ -1,0 +1,109 @@
+"""`repro.runtime` — the experiment execution subsystem.
+
+Every figure/table driver declares its sweep as a list of
+:class:`SimTask` cells and submits them through the *active runtime*,
+which layers three services under the drivers:
+
+* **content-addressed caching** (:class:`ResultCache`): results are
+  keyed by a sha256 over the full task spec plus a code-version salt,
+  so a warm-cache rerun of the whole evaluation is near-instant and a
+  model change never serves stale numbers;
+* **parallel fan-out** (:class:`Runtime`): misses run across a process
+  pool (``jobs > 1``) with per-cell timeout, bounded retry and a
+  serial fallback;
+* **provenance** (:class:`RunManifest`): every run records task
+  hashes, wall-times, cache hits and failures.
+
+The module-level :func:`configure` / :func:`active_runtime` pair holds
+the process-wide runtime the drivers use; the CLI and the benchmark
+harness configure it, and tests may swap it via :func:`using`.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Callable
+
+from .cache import CacheStats, NullCache, ResultCache
+from .executor import RunReport, Runtime, TaskOutcome
+from .manifest import ManifestEntry, RunManifest
+from .task import (
+    CODE_SALT,
+    RESULT_SCHEMA_VERSION,
+    SimTask,
+    machine_from_dict,
+    machine_to_dict,
+    run_from_record,
+)
+
+__all__ = [
+    "SimTask",
+    "Runtime",
+    "RunReport",
+    "TaskOutcome",
+    "ResultCache",
+    "NullCache",
+    "CacheStats",
+    "RunManifest",
+    "ManifestEntry",
+    "CODE_SALT",
+    "RESULT_SCHEMA_VERSION",
+    "machine_to_dict",
+    "machine_from_dict",
+    "run_from_record",
+    "configure",
+    "active_runtime",
+    "reset",
+    "using",
+]
+
+#: default on-disk cache location (relative to the working directory);
+#: the CLI and README document it, .gitignore covers it.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+_active: Runtime | None = None
+
+
+def configure(*, jobs: int = 1,
+              cache_dir: str | Path | None = None,
+              timeout: float | None = None, retries: int = 1,
+              progress: Callable[[str], None] | None = None) -> Runtime:
+    """Install (and return) the process-wide runtime.
+
+    ``cache_dir=None`` disables the on-disk cache (results still
+    benefit from the library's in-process memoization when running
+    serially).
+    """
+    global _active
+    cache = ResultCache(Path(cache_dir)) if cache_dir is not None \
+        else NullCache()
+    _active = Runtime(jobs=jobs, cache=cache, timeout=timeout,
+                      retries=retries, progress=progress)
+    return _active
+
+
+def active_runtime() -> Runtime:
+    """The process-wide runtime; a serial, uncached one by default."""
+    global _active
+    if _active is None:
+        _active = Runtime()
+    return _active
+
+
+def reset() -> None:
+    """Drop the process-wide runtime (tests / teardown)."""
+    global _active
+    _active = None
+
+
+@contextmanager
+def using(runtime: Runtime):
+    """Temporarily swap the active runtime (scoped configuration)."""
+    global _active
+    previous = _active
+    _active = runtime
+    try:
+        yield runtime
+    finally:
+        _active = previous

@@ -1,0 +1,159 @@
+"""Content-addressed on-disk result store.
+
+Records are JSON files named ``<sha256>.json`` under the cache root;
+the hash covers the full task spec *and* a code-version salt
+(:data:`repro.runtime.task.CODE_SALT`), so a model change or record
+schema bump silently misses instead of serving stale results.
+:meth:`ResultCache.gc` reclaims those orphaned entries.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .task import CODE_SALT, SimTask
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one cache instance's lifetime."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    errors: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses,
+                "puts": self.puts, "errors": self.errors,
+                "hit_rate": self.hit_rate}
+
+
+def _task_hash(task: SimTask | str) -> str:
+    return task if isinstance(task, str) else task.content_hash()
+
+
+class NullCache:
+    """The ``--no-cache`` cache: never hits, never stores."""
+
+    def __init__(self) -> None:
+        self.stats = CacheStats()
+
+    @property
+    def root(self) -> None:
+        return None
+
+    def get(self, task: SimTask | str) -> dict | None:
+        self.stats.misses += 1
+        return None
+
+    def put(self, task: SimTask | str, record: dict) -> None:
+        pass
+
+    def invalidate(self, task: SimTask | str | None = None) -> int:
+        return 0
+
+    def gc(self) -> int:
+        return 0
+
+    def __len__(self) -> int:
+        return 0
+
+
+@dataclass
+class ResultCache:
+    """Content-addressed store of task result records.
+
+    All operations are safe against concurrent writers of the *same*
+    record (writes are atomic renames of a per-pid temp file, and any
+    writer produces identical bytes for a given hash by construction).
+    """
+
+    root: Path
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, task: SimTask | str) -> Path:
+        return self.root / f"{_task_hash(task)}.json"
+
+    def get(self, task: SimTask | str) -> dict | None:
+        """The stored record, or ``None`` on miss (corrupt entries are
+        dropped and counted as misses)."""
+        path = self.path_for(task)
+        try:
+            with path.open("r", encoding="utf-8") as fh:
+                record = json.load(fh)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (OSError, json.JSONDecodeError):
+            self.stats.misses += 1
+            self.stats.errors += 1
+            path.unlink(missing_ok=True)
+            return None
+        if record.get("salt") != CODE_SALT:
+            # hash collisions across salts are impossible, but a record
+            # written by a hand-rolled tool might lie; be strict.
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return record
+
+    def put(self, task: SimTask | str, record: dict) -> None:
+        path = self.path_for(task)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(record, sort_keys=True),
+                       encoding="utf-8")
+        os.replace(tmp, path)
+        self.stats.puts += 1
+
+    def invalidate(self, task: SimTask | str | None = None) -> int:
+        """Drop one record (or every record when ``task`` is ``None``);
+        returns the number removed."""
+        if task is not None:
+            path = self.path_for(task)
+            if path.exists():
+                path.unlink()
+                return 1
+            return 0
+        removed = 0
+        for path in self.root.glob("*.json"):
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed
+
+    def gc(self) -> int:
+        """Remove records whose code-version salt no longer matches the
+        running code (plus unparsable files and stale temp files);
+        returns the number reclaimed."""
+        removed = 0
+        for tmp in self.root.glob("*.tmp.*"):
+            tmp.unlink(missing_ok=True)
+            removed += 1
+        for path in self.root.glob("*.json"):
+            try:
+                record = json.loads(path.read_text(encoding="utf-8"))
+                stale = record.get("salt") != CODE_SALT
+            except (OSError, json.JSONDecodeError):
+                stale = True
+            if stale:
+                path.unlink(missing_ok=True)
+                removed += 1
+        return removed
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.json"))

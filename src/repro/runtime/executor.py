@@ -1,0 +1,273 @@
+"""The experiment executor: cache-aware parallel fan-out over SimTasks.
+
+The :class:`Runtime` takes a batch of :class:`~repro.runtime.task.SimTask`
+cells, serves what it can from the result cache, fans the misses out
+over a ``ProcessPoolExecutor`` (``jobs > 1``) or runs them in-process
+(``jobs <= 1`` — which preserves the library's in-process memoization),
+and returns a :class:`RunReport` with per-cell outcomes plus a
+provenance :class:`~repro.runtime.manifest.RunManifest`.
+
+Failure policy: each failed cell is retried up to ``retries`` times
+with exponential backoff (retries always run in-process, where the
+traceback is most useful).  Cells that exceed ``timeout`` seconds in
+pool mode are cancelled and *not* retried — a timeout signals a cell
+too big for the budget, not a flake.  If the process pool cannot be
+created or breaks mid-run (sandboxes without ``/dev/shm``, recursive
+workers), the runtime degrades to serial execution instead of failing
+the sweep.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor, TimeoutError as \
+    FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from ..errors import ExecutorError
+from .cache import NullCache, ResultCache
+from .manifest import ManifestEntry, RunManifest
+from .task import SimTask, run_from_record
+
+
+def _evaluate_task(task: SimTask) -> dict:
+    """Module-level worker entry point (must be picklable)."""
+    return task.evaluate()
+
+
+@dataclass
+class TaskOutcome:
+    """What happened to one unique cell of a run."""
+
+    task: SimTask
+    record: dict | None
+    cached: bool
+    wall_time: float
+    attempts: int
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.record is not None
+
+
+@dataclass
+class RunReport:
+    """Everything a driver needs back from one executor invocation."""
+
+    outcomes: list[TaskOutcome]
+    manifest: RunManifest
+
+    @property
+    def failures(self) -> list[TaskOutcome]:
+        return [o for o in self.outcomes if not o.ok]
+
+    def records(self) -> dict[SimTask, dict]:
+        return {o.task: o.record for o in self.outcomes if o.ok}
+
+    def runs(self) -> dict[SimTask, object]:
+        """Result records rebuilt into driver-facing ``WorkloadRun``s."""
+        return {o.task: run_from_record(o.record)
+                for o in self.outcomes if o.ok}
+
+
+class Runtime:
+    """Cache-aware executor for batches of simulation cells."""
+
+    def __init__(self, *, jobs: int = 1,
+                 cache: ResultCache | NullCache | None = None,
+                 timeout: float | None = None, retries: int = 1,
+                 backoff: float = 0.25,
+                 progress: Callable[[str], None] | None = None) -> None:
+        if jobs < 1:
+            raise ExecutorError(f"jobs must be >= 1, got {jobs}")
+        if retries < 0:
+            raise ExecutorError(f"retries must be >= 0, got {retries}")
+        self.jobs = jobs
+        self.cache = cache if cache is not None else NullCache()
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.progress = progress
+        self.last_manifest: RunManifest | None = None
+        self.manifests: list[RunManifest] = []
+
+    # ------------------------------------------------------------- helpers
+
+    def _emit(self, message: str) -> None:
+        if self.progress is not None:
+            self.progress(message)
+
+    def _attempt_serial(self, task: SimTask,
+                        first_attempt: int = 1) -> TaskOutcome:
+        """Evaluate one cell in-process with the retry/backoff budget,
+        starting the attempt counter at ``first_attempt``."""
+        start = time.perf_counter()
+        attempt = first_attempt
+        while True:
+            try:
+                record = _evaluate_task(task)
+                return TaskOutcome(task, record, cached=False,
+                                   wall_time=time.perf_counter() - start,
+                                   attempts=attempt)
+            except Exception as exc:  # noqa: BLE001 - report, don't die
+                if attempt > self.retries:
+                    return TaskOutcome(
+                        task, None, cached=False,
+                        wall_time=time.perf_counter() - start,
+                        attempts=attempt,
+                        error=f"{type(exc).__name__}: {exc}")
+                time.sleep(self.backoff * (2 ** (attempt - 1)))
+                attempt += 1
+
+    def _run_serial(self, tasks: Sequence[SimTask]) -> list[TaskOutcome]:
+        outcomes = []
+        for i, task in enumerate(tasks, 1):
+            outcome = self._attempt_serial(task)
+            outcomes.append(outcome)
+            self._emit(f"[{i}/{len(tasks)}] simulated {task.label} "
+                       f"in {outcome.wall_time:.2f}s"
+                       + ("" if outcome.ok else f" — {outcome.error}"))
+        return outcomes
+
+    def _run_pool(self, tasks: Sequence[SimTask]
+                  ) -> tuple[list[TaskOutcome], str]:
+        """Fan out over a process pool; returns (outcomes, mode)."""
+        try:
+            pool = ProcessPoolExecutor(max_workers=self.jobs)
+        except (OSError, ImportError, NotImplementedError,
+                PermissionError) as exc:
+            self._emit(f"process pool unavailable ({exc}); "
+                       "falling back to serial execution")
+            return self._run_serial(tasks), "fallback-serial"
+
+        outcomes: list[TaskOutcome] = [None] * len(tasks)  # type: ignore
+        to_retry: list[int] = []
+        with pool:
+            try:
+                futures = [(i, pool.submit(_evaluate_task, t))
+                           for i, t in enumerate(tasks)]
+            except BrokenProcessPool:
+                self._emit("process pool broke on submit; "
+                           "falling back to serial execution")
+                return self._run_serial(tasks), "fallback-serial"
+            done = 0
+            for i, future in futures:
+                task = tasks[i]
+                start = time.perf_counter()
+                try:
+                    record = future.result(timeout=self.timeout)
+                    outcomes[i] = TaskOutcome(
+                        task, record, cached=False,
+                        wall_time=time.perf_counter() - start,
+                        attempts=1)
+                except FutureTimeoutError:
+                    future.cancel()
+                    outcomes[i] = TaskOutcome(
+                        task, None, cached=False,
+                        wall_time=time.perf_counter() - start,
+                        attempts=1,
+                        error=f"timeout after {self.timeout}s")
+                except BrokenProcessPool:
+                    # the pool is gone; everything still pending reruns
+                    # serially (attempt 1 didn't really happen for them).
+                    self._emit("process pool broke mid-run; finishing "
+                               "remaining cells serially")
+                    for j, other in futures:
+                        if outcomes[j] is None:
+                            outcomes[j] = self._attempt_serial(tasks[j])
+                    break
+                except Exception as exc:  # noqa: BLE001
+                    outcomes[i] = TaskOutcome(
+                        task, None, cached=False,
+                        wall_time=time.perf_counter() - start,
+                        attempts=1,
+                        error=f"{type(exc).__name__}: {exc}")
+                    to_retry.append(i)
+                done += 1
+                if outcomes[i] is not None and outcomes[i].ok:
+                    self._emit(f"[{done}/{len(tasks)}] simulated "
+                               f"{task.label}")
+        # bounded retry, in-process where tracebacks are debuggable
+        for i in to_retry:
+            if self.retries and not outcomes[i].ok:
+                time.sleep(self.backoff)
+                retried = self._attempt_serial(tasks[i], first_attempt=2)
+                retried.wall_time += outcomes[i].wall_time
+                outcomes[i] = retried
+        return outcomes, "process-pool"
+
+    # ---------------------------------------------------------------- runs
+
+    def run(self, tasks: Iterable[SimTask]) -> RunReport:
+        """Execute a batch of cells: cache lookups, then fan-out."""
+        start = time.perf_counter()
+        ordered: list[SimTask] = []
+        by_hash: dict[str, SimTask] = {}
+        for task in tasks:
+            h = task.content_hash()
+            if h not in by_hash:
+                by_hash[h] = task
+                ordered.append(task)
+
+        outcomes: dict[str, TaskOutcome] = {}
+        misses: list[SimTask] = []
+        for task in ordered:
+            record = self.cache.get(task)
+            if record is not None:
+                outcomes[task.content_hash()] = TaskOutcome(
+                    task, record, cached=True, wall_time=0.0, attempts=0)
+            else:
+                misses.append(task)
+
+        mode = "serial"
+        if misses:
+            self._emit(f"runtime: {len(ordered)} cells, "
+                       f"{len(ordered) - len(misses)} cached, "
+                       f"{len(misses)} to simulate (jobs={self.jobs})")
+        if misses and self.jobs > 1:
+            fresh, mode = self._run_pool(misses)
+        elif misses:
+            fresh = self._run_serial(misses)
+        else:
+            fresh = []
+        for outcome in fresh:
+            if outcome.ok:
+                self.cache.put(outcome.task, outcome.record)
+            outcomes[outcome.task.content_hash()] = outcome
+
+        entries = [
+            ManifestEntry(
+                hash=t.content_hash(),
+                workload=t.workload,
+                input_id=t.input_id,
+                scale=t.scale,
+                variants=sorted(t.variants),
+                cached=outcomes[t.content_hash()].cached,
+                wall_time=outcomes[t.content_hash()].wall_time,
+                attempts=outcomes[t.content_hash()].attempts,
+                error=outcomes[t.content_hash()].error,
+            )
+            for t in ordered
+        ]
+        manifest = RunManifest(jobs=self.jobs, mode=mode,
+                               wall_time=time.perf_counter() - start,
+                               entries=entries)
+        self.last_manifest = manifest
+        self.manifests.append(manifest)
+        report = RunReport(
+            outcomes=[outcomes[t.content_hash()] for t in ordered],
+            manifest=manifest)
+        if misses:
+            self._emit(manifest.summary())
+        return report
+
+    def run_cells(self, tasks: Iterable[SimTask]) -> dict[SimTask, object]:
+        """Run a batch and return ``{task: WorkloadRun}``; raises
+        :class:`ExecutorError` if any cell ultimately failed."""
+        report = self.run(tasks)
+        if report.failures:
+            raise ExecutorError(report.manifest.summary())
+        return report.runs()

@@ -1,0 +1,87 @@
+"""CLI smoke tests: ``python -m repro`` with the runtime flags."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro import cli, runtime
+
+REPO_SRC = str(Path(__file__).resolve().parents[1] / "src")
+
+
+def _run_cli(*argv: str, cwd=None) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = REPO_SRC + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *argv],
+        capture_output=True, text=True, env=env, cwd=cwd, timeout=300,
+    )
+
+
+class TestSubprocess:
+    def test_help(self):
+        proc = _run_cli("--help")
+        assert proc.returncode == 0
+        for flag in ("--jobs", "--cache-dir", "--no-cache", "--scale"):
+            assert flag in proc.stdout
+
+    def test_small_experiment_parallel_no_cache(self, tmp_path):
+        proc = _run_cli("fig10", "--workloads", "spmv", "--jobs", "2",
+                        "--no-cache", cwd=tmp_path)
+        assert proc.returncode == 0, proc.stderr
+        assert "Figure 10" in proc.stdout
+        assert "geomean" in proc.stdout
+        assert "6 cells" in proc.stderr
+        # --no-cache must not create the default cache directory
+        assert not (tmp_path / runtime.DEFAULT_CACHE_DIR).exists()
+
+    def test_warm_cache_second_invocation(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        cold = _run_cli("fig10", "--workloads", "spmv",
+                        "--cache-dir", str(cache_dir), cwd=tmp_path)
+        assert cold.returncode == 0, cold.stderr
+        warm = _run_cli("fig10", "--workloads", "spmv",
+                        "--cache-dir", str(cache_dir), cwd=tmp_path)
+        assert warm.returncode == 0, warm.stderr
+        assert "6 cached (100%)" in warm.stderr
+        assert cold.stdout == warm.stdout
+        manifests = list((cache_dir / "manifests").glob("run-*.json"))
+        assert manifests, "manifest files should be written to the cache"
+
+
+class TestInProcess:
+    """Faster checks through cli.main() directly."""
+
+    @pytest.fixture(autouse=True)
+    def _fresh_runtime(self):
+        yield
+        runtime.reset()
+
+    def test_table5_needs_no_simulation(self, tmp_path, capsys):
+        rc = cli.main(["table5", "--no-cache"])
+        assert rc == 0
+        assert "Table 5" in capsys.readouterr().out
+
+    def test_unknown_workload_fails_cleanly(self, tmp_path, capsys):
+        rc = cli.main(["fig10", "--workloads", "warp", "--no-cache",
+                       "--retries", "0"])
+        assert rc == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_cache_maintenance_commands(self, tmp_path, capsys):
+        cache_dir = tmp_path / "c"
+        rc = cli.main(["fig10", "--workloads", "spmv",
+                       "--cache-dir", str(cache_dir)])
+        assert rc == 0
+        assert cli.main(["cache-gc", "--cache-dir", str(cache_dir)]) == 0
+        out = capsys.readouterr()
+        assert "6 live" in out.out
+        assert cli.main(["cache-clear", "--cache-dir",
+                         str(cache_dir)]) == 0
+        assert "removed 6 entries" in capsys.readouterr().out
