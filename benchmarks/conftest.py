@@ -8,15 +8,25 @@ writes the rendered artifact to ``benchmarks/results/``.
 Run with::
 
     pytest benchmarks/ --benchmark-only
+
+The session also captures :mod:`repro.obs` telemetry and appends a perf
+snapshot to the repo's trajectory (``BENCH_<rev>.json`` at the repo
+root) when it finishes; set ``REPRO_BENCH_SNAPSHOT=0`` to skip, or
+``REPRO_BENCH_DIR`` to redirect the snapshot.  ``REPRO_CACHE_DIR``
+points the session's result cache at a persistent directory (CI uses
+this to carry the cache across jobs); by default a temp dir is used.
 """
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
 import pytest
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
 @pytest.fixture(scope="session")
@@ -31,6 +41,24 @@ def scale() -> str:
 
 
 @pytest.fixture(scope="session", autouse=True)
+def telemetry_session():
+    """Record simulator telemetry for the whole benchmark session and
+    extend the perf trajectory on exit."""
+    from repro import obs
+
+    if os.environ.get("REPRO_BENCH_SNAPSHOT", "1") == "0":
+        yield None
+        return
+    registry = obs.enable()
+    yield registry
+    snap = obs.snapshot(meta={"suite": "benchmarks", "scale": "small"})
+    obs.disable()
+    out_dir = Path(os.environ.get("REPRO_BENCH_DIR", REPO_ROOT))
+    path = obs.write_bench_snapshot(snap, out_dir)
+    print(f"\nperf trajectory snapshot: {path}")
+
+
+@pytest.fixture(scope="session", autouse=True)
 def runtime_cache(tmp_path_factory):
     """One shared on-disk result cache for the whole benchmark session.
 
@@ -38,10 +66,18 @@ def runtime_cache(tmp_path_factory):
     :mod:`repro.runtime`, so benchmarks that revisit the same
     (workload, input, machine) cells — Fig. 10/11/12/13 share a full
     sweep — are served from this cache instead of re-simulating.
+
+    ``REPRO_CACHE_DIR`` overrides the location so CI can persist the
+    cache across jobs; unset, each session gets a fresh temp dir.
     """
     from repro import runtime
 
-    cache_dir = tmp_path_factory.mktemp("repro-runtime-cache")
+    env_dir = os.environ.get("REPRO_CACHE_DIR")
+    if env_dir:
+        cache_dir = Path(env_dir)
+        cache_dir.mkdir(parents=True, exist_ok=True)
+    else:
+        cache_dir = tmp_path_factory.mktemp("repro-runtime-cache")
     rt = runtime.configure(jobs=1, cache_dir=cache_dir)
     yield rt.cache
     runtime.reset()

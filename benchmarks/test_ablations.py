@@ -10,8 +10,6 @@ its own design parameters, the analyses a reviewer would ask for:
   one (locality captured by the shared cache, Section 5.6).
 """
 
-import numpy as np
-
 from repro.config import experiment_machine
 from repro.eval.reporting import text_table
 from repro.eval.workloads import SAMPLE_WINDOW, SPKADD_K

@@ -1,7 +1,6 @@
 """Regenerate Figure 3: the motivation stall-breakdown study."""
 
 from repro.eval import experiments as ex
-from repro.types import geomean
 
 from .conftest import save_artifact
 

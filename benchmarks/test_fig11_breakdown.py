@@ -23,8 +23,6 @@ def test_fig11_breakdown(benchmark, results_dir, scale):
     for workload in ("spmv", "pr"):
         be_base = np.mean([r["backend"] for r in rows_of(workload,
                                                          "baseline")])
-        be_tmu = np.mean([r["backend"] for r in rows_of(workload,
-                                                        "tmu")])
         l2u_base = geomean(
             r["load_to_use"] for r in rows_of(workload, "baseline"))
         l2u_tmu = geomean(

@@ -5,6 +5,9 @@ Usage::
     python -m repro fig10 [--scale small|medium|paper] [--jobs 4]
     python -m repro all --scale small --cache-dir .repro-cache
     python -m repro fig10 --workloads spmv,spkadd --jobs 2 --no-cache
+    python -m repro fig13 --telemetry run.json   # write a perf snapshot
+    python -m repro stats dump run.json          # inspect a snapshot
+    python -m repro stats diff base.json run.json --max-regression 0.2
     python -m repro cache-gc          # reclaim stale cache entries
     tmu-repro table6
 
@@ -13,17 +16,23 @@ are cached content-addressed under ``--cache-dir`` (default
 ``.repro-cache``), ``--jobs N`` fans cache misses out over N worker
 processes, and every invocation writes a run manifest (task hashes,
 wall times, cache hits, failures) next to the cache.
+
+``--telemetry PATH`` enables the :mod:`repro.obs` layer for the run and
+writes a schema-versioned perf snapshot to PATH; ``stats`` dumps,
+diffs, and regression-gates such snapshots (the ``bench-smoke`` CI job
+is built from exactly these two pieces).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 import time
 from pathlib import Path
 
-from . import runtime
+from . import obs, runtime
 from .errors import ReproError
 from .eval import experiments as ex
 from .runtime.manifest import RunManifest
@@ -130,7 +139,97 @@ def _build_parser() -> argparse.ArgumentParser:
              "<cache-dir>/manifests/run-<timestamp>.json when caching "
              "is enabled)",
     )
+    parser.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="PATH",
+        help="enable the repro.obs telemetry layer for this run and "
+             "write a perf snapshot (JSON) to PATH; inspect it with "
+             "'tmu-repro stats'",
+    )
     return parser
+
+
+# ------------------------------------------------------------------- stats
+
+def _build_stats_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="tmu-repro stats",
+        description="Dump, diff and regression-gate repro.obs perf "
+                    "snapshots.",
+    )
+    sub = parser.add_subparsers(dest="action", required=True)
+
+    dump = sub.add_parser(
+        "dump", help="validate a snapshot and print its metrics")
+    dump.add_argument("snapshot", help="snapshot JSON file")
+    dump.add_argument("--json", action="store_true",
+                      help="re-emit the validated snapshot as JSON")
+
+    diff = sub.add_parser(
+        "diff", help="compare two snapshots metric by metric "
+                     "(A = baseline, B = run)")
+    diff.add_argument("baseline", help="baseline snapshot JSON file")
+    diff.add_argument("run", help="run snapshot JSON file")
+    diff.add_argument("--changed-only", action="store_true",
+                      help="hide metrics with a zero delta")
+    diff.add_argument(
+        "--metric",
+        default="runtime.executor.cells_per_sec",
+        metavar="NAME",
+        help="headline metric for --max-regression (default: "
+             "runtime.executor.cells_per_sec)",
+    )
+    diff.add_argument(
+        "--max-regression",
+        type=float,
+        default=None,
+        metavar="FRAC",
+        help="exit non-zero if the run's --metric regressed vs the "
+             "baseline by more than FRAC (e.g. 0.2 = 20%%)",
+    )
+    diff.add_argument(
+        "--lower-is-better",
+        action="store_true",
+        help="treat increases of --metric as regressions (cycle or "
+             "byte counts rather than rates)",
+    )
+    return parser
+
+
+def _stats_main(argv: list[str]) -> int:
+    args = _build_stats_parser().parse_args(argv)
+    try:
+        if args.action == "dump":
+            snap = obs.load_snapshot(args.snapshot)
+            if args.json:
+                print(json.dumps(snap, indent=2, sort_keys=True))
+            else:
+                print(obs.render_snapshot(snap))
+            return 0
+        baseline = obs.load_snapshot(args.baseline)
+        run = obs.load_snapshot(args.run)
+        print(obs.render_diff(obs.diff_snapshots(baseline, run),
+                              changed_only=args.changed_only))
+        if args.max_regression is not None:
+            ok, message = obs.check_regression(
+                run, baseline,
+                metric=args.metric,
+                max_regression=args.max_regression,
+                higher_is_better=not args.lower_is_better,
+            )
+            print(message)
+            if not ok:
+                return 1
+        return 0
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # stdout went away mid-print (e.g. `stats dump ... | head`);
+        # suppress the traceback and exit quietly like a good filter.
+        sys.stderr.close()
+        return 0
 
 
 def _combined_manifest(rt: runtime.Runtime) -> RunManifest | None:
@@ -165,10 +264,16 @@ def _run_cache_command(action: str, args) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if argv and argv[0] == "stats":
+        return _stats_main(argv[1:])
     args = _build_parser().parse_args(argv)
 
     if args.experiment in _CACHE_COMMANDS:
         return _run_cache_command(args.experiment, args)
+
+    if args.telemetry is not None:
+        obs.enable()
 
     workloads = None
     if args.workloads:
@@ -205,6 +310,17 @@ def main(argv: list[str] | None = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+
+    if args.telemetry is not None:
+        snap = obs.snapshot(meta={
+            "experiments": ",".join(names),
+            "scale": args.scale,
+            "jobs": args.jobs,
+            "workloads": args.workloads or "all",
+        })
+        path = obs.write_snapshot(snap, args.telemetry)
+        obs.disable()
+        print(f"telemetry snapshot: {path}", file=sys.stderr)
 
     manifest = _combined_manifest(rt)
     if manifest is not None:

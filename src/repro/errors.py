@@ -49,3 +49,8 @@ class WorkloadError(ReproError):
 class ExecutorError(ReproError):
     """The experiment runtime could not complete a batch of simulation
     tasks (cells failed beyond the retry budget or timed out)."""
+
+
+class ObsError(ReproError):
+    """The telemetry layer was misused (metric kind mismatch) or a perf
+    snapshot violated the schema."""

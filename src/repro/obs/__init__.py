@@ -1,0 +1,148 @@
+"""``repro.obs`` — the simulator telemetry layer.
+
+Hierarchical named counters, gauges, histograms and wall-clock timers,
+with a process-wide on/off switch and near-zero overhead when disabled:
+instrumented call sites ask the module for an instrument and get a
+shared no-op singleton unless a registry is active.
+
+Usage::
+
+    from repro import obs
+
+    with obs.capture() as registry:          # or obs.enable()
+        run_experiments()
+        snap = obs.snapshot(meta={"scale": "small"})
+    obs.write_snapshot(snap, "run.json")
+
+Instrumented library code stays declarative::
+
+    obs.counter("tmu.engine.runs").add()
+    obs.gauge("runtime.executor.cells_per_sec").set(rate)
+    with obs.timer("sim.memsys.profile"):
+        ...
+
+Snapshots serialize to the stable JSON schema in
+:mod:`repro.obs.snapshot`; ``repro stats`` dumps and diffs them, and the
+``bench-smoke`` CI job gates on schema validity plus a cells/sec
+regression bound.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from .metrics import (
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+    NULL_TIMER,
+    Counter,
+    Gauge,
+    Histogram,
+    Timer,
+)
+from .registry import PrefixedRegistry, Registry, add_deltas
+from .snapshot import (
+    SCHEMA,
+    check_regression,
+    current_rev,
+    diff_snapshots,
+    load_snapshot,
+    make_snapshot,
+    render_diff,
+    render_snapshot,
+    validate_snapshot,
+    write_bench_snapshot,
+    write_snapshot,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Timer",
+    "Registry",
+    "PrefixedRegistry",
+    "add_deltas",
+    "SCHEMA",
+    "enable",
+    "disable",
+    "enabled",
+    "active",
+    "capture",
+    "counter",
+    "gauge",
+    "histogram",
+    "timer",
+    "snapshot",
+    "make_snapshot",
+    "validate_snapshot",
+    "load_snapshot",
+    "write_snapshot",
+    "write_bench_snapshot",
+    "diff_snapshots",
+    "render_diff",
+    "render_snapshot",
+    "check_regression",
+    "current_rev",
+]
+
+_active: Registry | None = None
+
+
+def enable(registry: Registry | None = None) -> Registry:
+    """Install (and return) the process-wide registry."""
+    global _active
+    _active = registry if registry is not None else Registry()
+    return _active
+
+
+def disable() -> None:
+    """Turn telemetry off; instrumented code reverts to no-ops."""
+    global _active
+    _active = None
+
+
+def enabled() -> bool:
+    return _active is not None
+
+
+def active() -> Registry | None:
+    """The live registry, or None when telemetry is off."""
+    return _active
+
+
+@contextmanager
+def capture(registry: Registry | None = None):
+    """Scoped telemetry: enable for the block, restore the previous
+    state after (tests, the benchmark harness, worker processes)."""
+    global _active
+    previous = _active
+    _active = registry if registry is not None else Registry()
+    try:
+        yield _active
+    finally:
+        _active = previous
+
+
+def counter(name: str):
+    """The named counter of the active registry (no-op when disabled)."""
+    return _active.counter(name) if _active is not None else NULL_COUNTER
+
+
+def gauge(name: str):
+    return _active.gauge(name) if _active is not None else NULL_GAUGE
+
+
+def histogram(name: str):
+    return _active.histogram(name) if _active is not None else NULL_HISTOGRAM
+
+
+def timer(name: str):
+    return _active.timer(name) if _active is not None else NULL_TIMER
+
+
+def snapshot(meta: dict | None = None) -> dict:
+    """Snapshot the active registry (an empty registry when disabled,
+    so callers can always write a schema-valid file)."""
+    return make_snapshot(_active if _active is not None else Registry(), meta)

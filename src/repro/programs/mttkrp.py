@@ -50,10 +50,10 @@ def build_mttkrp_program(tensor: CooTensor, b, c,
 
     l0 = prog.add_layer(LayerMode.BCAST)
     nz = l0.dns_fbrt(beg=0, end=tensor.nnz)
-    i_str = nz.add_mem_stream(i_arr, name="i")
+    nz.add_mem_stream(i_arr, name="i")
     k_str = nz.add_mem_stream(k_arr, name="k")
     l_str = nz.add_mem_stream(l_arr, name="l")
-    v_str = nz.add_mem_stream(v_arr, name="val")
+    nz.add_mem_stream(v_arr, name="val")
     b_beg = nz.add_lin_stream(rank, 0, parent=k_str, name="b_row_beg")
     c_beg = nz.add_lin_stream(rank, 0, parent=l_str, name="c_row_beg")
     l0.add_callback(Event.GITE, "nb", [])

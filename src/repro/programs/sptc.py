@@ -146,7 +146,6 @@ def sptc_timing_model(a: CsfTensor, b: CsfTensor,
     """
     # Per A leaf (k, l): probe the dense l-index, then walk half of
     # B_l's k-fiber on average; on a k match, stream the j fiber.
-    k_fiber_len = np.diff(b.ptrs[2])          # per (l, k) node of B
     l_fiber_beg = b.ptrs[1][:-1]
     l_fiber_end = b.ptrs[1][1:]
     l_lookup = {int(c): n for n, c in enumerate(b.idxs[0])}

@@ -23,18 +23,32 @@ import time
 from concurrent.futures import ProcessPoolExecutor, TimeoutError as \
     FutureTimeoutError
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
+from .. import obs
 from ..errors import ExecutorError
 from .cache import NullCache, ResultCache
 from .manifest import ManifestEntry, RunManifest
 from .task import SimTask, run_from_record
 
 
-def _evaluate_task(task: SimTask) -> dict:
-    """Module-level worker entry point (must be picklable)."""
-    return task.evaluate()
+def _evaluate_task(task: SimTask, capture_telemetry: bool = False) -> dict:
+    """Module-level worker entry point (must be picklable).
+
+    ``capture_telemetry`` is set on process-pool submissions when the
+    parent has :mod:`repro.obs` enabled: the worker records into a fresh
+    registry and ships its body back on the record (under a transient
+    ``"telemetry"`` key the executor strips and merges), so per-layer
+    simulator metrics survive the process boundary.  In-process
+    evaluation records into the parent registry directly.
+    """
+    if not capture_telemetry:
+        return task.evaluate()
+    with obs.capture() as registry:
+        record = task.evaluate()
+    record["telemetry"] = registry.as_dict()
+    return record
 
 
 @dataclass
@@ -147,7 +161,8 @@ class Runtime:
         to_retry: list[int] = []
         with pool:
             try:
-                futures = [(i, pool.submit(_evaluate_task, t))
+                futures = [(i, pool.submit(_evaluate_task, t,
+                                           obs.enabled()))
                            for i, t in enumerate(tasks)]
             except BrokenProcessPool:
                 self._emit("process pool broke on submit; "
@@ -235,6 +250,12 @@ class Runtime:
             fresh = []
         for outcome in fresh:
             if outcome.ok:
+                # Worker-captured telemetry rides back on the record;
+                # fold it into the parent registry and keep it out of
+                # the cache (it describes one execution, not the cell).
+                telemetry = outcome.record.pop("telemetry", None)
+                if telemetry is not None and obs.enabled():
+                    obs.active().merge(telemetry)
                 self.cache.put(outcome.task, outcome.record)
             outcomes[outcome.task.content_hash()] = outcome
 
@@ -255,6 +276,18 @@ class Runtime:
         manifest = RunManifest(jobs=self.jobs, mode=mode,
                                wall_time=time.perf_counter() - start,
                                entries=entries)
+        if obs.enabled():
+            simulated = sum(1 for o in fresh if o.ok)
+            view = obs.active().prefixed("runtime.executor")
+            view.counter("batches").add()
+            view.counter("cells").add(len(ordered))
+            view.counter("cells_cached").add(len(ordered) - len(misses))
+            view.counter("cells_simulated").add(simulated)
+            view.counter("cells_failed").add(len(fresh) - simulated)
+            view.timer("batch").observe(manifest.wall_time)
+            if simulated and manifest.wall_time > 0:
+                view.gauge("cells_per_sec").set(
+                    simulated / manifest.wall_time)
         self.last_manifest = manifest
         self.manifests.append(manifest)
         report = RunReport(

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import obs
 from ..config import CacheConfig
 from ..errors import SimulationError
 
@@ -45,8 +46,11 @@ class Cache:
     feeding one level's misses into the next.
     """
 
-    def __init__(self, config: CacheConfig) -> None:
+    def __init__(self, config: CacheConfig, name: str = "") -> None:
         self.config = config
+        #: telemetry identity; named caches publish hit profiles under
+        #: ``sim.cache.<name>`` when :mod:`repro.obs` is enabled
+        self.name = name
         self.num_sets = config.num_sets
         self.ways = config.ways
         if self.num_sets & (self.num_sets - 1):
@@ -84,6 +88,10 @@ class Cache:
                 hit_count += 1
         self.stats.accesses += lines.size
         self.stats.hits += hit_count
+        if self.name and obs.enabled():
+            view = obs.active().prefixed(f"sim.cache.{self.name}")
+            view.counter("accesses").add(int(lines.size))
+            view.counter("hits").add(hit_count)
         return hits
 
     def contains_line(self, line: int) -> bool:

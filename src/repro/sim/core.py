@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from .. import obs
 from ..config import MachineConfig
 from ..errors import SimulationError
 from .memsys import AccessProfile
@@ -206,6 +207,16 @@ class IntervalCoreModel:
         pipeline = committing + frontend + backend_latency
         total = max(pipeline, bw_cycles, service_cycles)
         backend = backend_latency + max(0.0, total - pipeline)
+
+        if obs.enabled():
+            view = obs.active().prefixed("sim.core")
+            view.counter("runs").add()
+            view.counter("instructions").add(trace.total_instructions())
+            view.counter("cycles.committing").add(committing)
+            view.counter("cycles.frontend").add(frontend)
+            view.counter("cycles.backend").add(backend)
+            view.histogram("cycles.total").record(total)
+            view.gauge("mlp").set(mlp)
 
         return CycleBreakdown(
             committing=committing,

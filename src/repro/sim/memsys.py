@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import obs
 from ..config import MachineConfig
 from .cache import Cache, dedup_consecutive, to_lines
 from .trace import AccessStream, KernelTrace
@@ -115,12 +116,12 @@ class MemoryHierarchy:
         self.machine = machine
         self.sample_window = sample_window
         self.model_prefetchers = model_prefetchers
-        self.l1 = Cache(machine.l1d)
-        self.l2 = Cache(machine.l2)
+        self.l1 = Cache(machine.l1d, name="l1")
+        self.l2 = Cache(machine.l2, name="l2")
         # The LLC is shared; with all cores running the same kernel on
         # disjoint row ranges, contention is symmetric, so one core sees
         # the full LLC for its share of the data.
-        self.llc = Cache(machine.llc)
+        self.llc = Cache(machine.llc, name="llc")
 
     def reset(self) -> None:
         self.l1.reset()
@@ -172,8 +173,17 @@ class MemoryHierarchy:
         """Walk all streams of a kernel trace (in declaration order)."""
         self.reset()
         profile = AccessProfile(line_bytes=self.machine.l1d.line_bytes)
-        for stream in trace.streams:
-            profile.streams.append(self.profile_stream(stream))
+        with obs.timer("sim.memsys.profile"):
+            for stream in trace.streams:
+                profile.streams.append(self.profile_stream(stream))
+        if obs.enabled():
+            view = obs.active().prefixed("sim.memsys")
+            view.counter("profiles").add()
+            view.counter("streams").add(len(profile.streams))
+            view.counter("mem_lines").add(profile.mem_lines)
+            for level, cache in (("l1", self.l1), ("l2", self.l2),
+                                 ("llc", self.llc)):
+                view.gauge(f"{level}.hit_rate").set(cache.stats.hit_rate)
         return profile
 
 
@@ -181,7 +191,7 @@ def llc_only_profile(machine: MachineConfig, streams: list[AccessStream],
                      *, sample_window: int | None = None) -> AccessProfile:
     """Profile streams against the LLC alone — the TMU's view of the
     hierarchy (it reads directly from the LLC, Section 5.6)."""
-    llc = Cache(machine.llc)
+    llc = Cache(machine.llc, name="tmu_llc")
     profile = AccessProfile(line_bytes=machine.llc.line_bytes)
     for stream in streams:
         lines = to_lines(stream.addresses, machine.llc.line_bytes)

@@ -51,6 +51,7 @@ class MemoryArbiter:
 
     def __init__(self) -> None:
         self._logs: dict[Stream, StreamRequestLog] = {}
+        self._observed: dict[str, int] = {}  # telemetry deltas
 
     def register(self, tu: TraversalUnit, stream: Stream) -> None:
         if stream in self._logs:
@@ -108,3 +109,25 @@ class MemoryArbiter:
         for log in self._logs.values():
             out[log.layer] = out.get(log.layer, 0) + len(log.lines)
         return out
+
+    def grant_distribution(self) -> list[tuple[str, int]]:
+        """(stream label, line requests granted) in priority order —
+        how the fixed-hierarchy arbiter divided the request bandwidth."""
+        return [(log.label, len(log.lines))
+                for log in self.priority_order()]
+
+    def observe(self, view) -> None:
+        """Publish request totals and the per-(layer, lane) grant
+        distribution into a telemetry registry view."""
+        from ..obs import add_deltas
+
+        totals = {
+            "touches": self.total_touches,
+            "lines": self.total_line_requests,
+            "bytes": self.total_bytes(),
+        }
+        for log in self.priority_order():
+            key = f"layer{log.layer}.lane{log.lane}.lines"
+            totals[key] = totals.get(key, 0) + len(log.lines)
+        add_deltas(view, totals, self._observed)
+        view.gauge("streams").set(len(self._logs))

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
+from .. import obs
 from ..config import TMUConfig
 from ..errors import TMUConfigError, TMURuntimeError
 from ..sim.trace import AccessStream
@@ -201,7 +202,27 @@ class TmuEngine:
         stats.memory_touches = self.arbiter.total_touches
         stats.memory_lines = self.arbiter.total_line_requests
         stats.memory_bytes = self.arbiter.total_bytes()
+        if obs.enabled():
+            self.publish_telemetry()
         return stats
+
+    def publish_telemetry(self) -> None:
+        """Push this run's per-component event counts into the active
+        :mod:`repro.obs` registry (no-op when telemetry is disabled)."""
+        registry = obs.active()
+        if registry is None:
+            return
+        engine = registry.prefixed("tmu.engine")
+        engine.counter("runs").add()
+        for cb_id, count in self._stats.callback_counts.items():
+            engine.counter(f"callbacks.{cb_id}").add(count)
+        for idx, group in enumerate(self.groups):
+            layer = registry.prefixed(f"tmu.tg.layer{idx}")
+            group.observe(layer)
+            layer.gauge("queue_entries").set(self.sizing.entries(idx))
+        engine.gauge("queue_utilization").set(self.sizing.utilization)
+        self.arbiter.observe(registry.prefixed("tmu.arbiter"))
+        self.outq.observe(registry.prefixed("tmu.outq"))
 
     def _child_mask(self, layer_idx: int,
                     parent_mode: LayerMode | None,

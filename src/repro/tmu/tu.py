@@ -100,6 +100,7 @@ class TraversalUnit:
         self.iterations = 0
         self.fiber_count = 0
         self.control_tokens: int = 0  # total tokens emitted (0s and 1s)
+        self._observed: dict[str, int] = {}  # telemetry deltas
 
     # -- configuration -------------------------------------------------
 
@@ -264,6 +265,17 @@ class TraversalUnit:
 
     def key_of(self, slot: Slot):
         return slot[self.merge_key]
+
+    def observe(self, view) -> None:
+        """Publish this TU's counters into a telemetry registry view
+        (incremental: safe to call once per engine run)."""
+        from ..obs import add_deltas
+
+        add_deltas(view.prefixed(f"lane{self.lane}"), {
+            "iterations": self.iterations,
+            "fibers": self.fiber_count,
+            "control_tokens": self.control_tokens,
+        }, self._observed)
 
     def __repr__(self) -> str:
         return (f"TraversalUnit({self.name}, {self.kind.value}, "

@@ -6,8 +6,8 @@ import numpy as np
 import pytest
 
 from repro.config import default_machine, experiment_machine
-from repro.formats.coo import CooMatrix, CooTensor
-from repro.formats.convert import coo_to_csf, coo_to_csr, coo_to_dcsr
+from repro.formats.coo import CooMatrix
+from repro.formats.convert import coo_to_csf, coo_to_dcsr
 from repro.generators.matrices import uniform_random_matrix
 from repro.generators.tensors import uniform_random_tensor
 

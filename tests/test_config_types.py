@@ -5,7 +5,6 @@ import pytest
 from repro.config import (
     CACHE_SCALE_DIVISOR,
     CacheConfig,
-    MachineConfig,
     a64fx_like,
     default_machine,
     experiment_machine,

@@ -11,7 +11,7 @@ import numpy as np
 import pytest
 
 from repro.config import default_machine
-from repro.generators import uniform_random_matrix, uniform_random_tensor
+from repro.generators import uniform_random_matrix
 from repro.kernels import split_rows_cyclic
 from repro.kernels.triangle import lower_triangle
 from repro.programs import (

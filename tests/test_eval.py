@@ -3,12 +3,10 @@
 import numpy as np
 import pytest
 
-from repro.config import experiment_machine
 from repro.errors import WorkloadError
 from repro.eval import experiments as ex
 from repro.eval.reporting import heatmap_table, text_table, to_csv
 from repro.eval.workloads import (
-    WORKLOADS,
     as_order3,
     inputs_for,
     run_workload,

@@ -1,6 +1,5 @@
 """Fiber view and traversal function tests (Section 2.3)."""
 
-import numpy as np
 import pytest
 
 from repro.errors import FiberError

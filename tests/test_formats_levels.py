@@ -4,8 +4,6 @@ import numpy as np
 import pytest
 
 from repro.errors import FormatError
-from repro.formats.convert import csr_to_coo
-from repro.formats.coo import CooTensor
 from repro.formats.levels import (
     CompressedLevel,
     DenseLevel,

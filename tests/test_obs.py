@@ -1,0 +1,316 @@
+"""Tests for the repro.obs telemetry layer.
+
+Covers the instrument semantics, the disabled-mode no-op path, registry
+merging (the process-pool round trip), snapshot schema round-trips, and
+the diff/regression helpers the ``bench-smoke`` CI gate is built on.
+"""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.errors import ObsError
+from repro.obs import (
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+    NULL_TIMER,
+    Histogram,
+    Registry,
+    add_deltas,
+)
+from repro.obs.snapshot import (
+    SCHEMA,
+    check_regression,
+    diff_snapshots,
+    load_snapshot,
+    make_snapshot,
+    render_diff,
+    render_snapshot,
+    validate_snapshot,
+    write_bench_snapshot,
+    write_snapshot,
+)
+
+
+@pytest.fixture(autouse=True)
+def _telemetry_off():
+    """Each test starts and ends with telemetry disabled."""
+    obs.disable()
+    yield
+    obs.disable()
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        reg = Registry()
+        reg.counter("a.b").add()
+        reg.counter("a.b").add(41)
+        assert reg.counter("a.b").value == 42
+
+    def test_gauge_tracks_high_water(self):
+        reg = Registry()
+        g = reg.gauge("depth")
+        g.set(3)
+        g.set(7)
+        g.set(2)
+        assert g.as_dict() == {"value": 2, "high_water": 7}
+
+    def test_histogram_buckets_and_exact_moments(self):
+        h = Histogram("h")
+        for v in (0.5, 1, 2, 3, 1000):
+            h.record(v)
+        d = h.as_dict()
+        assert d["count"] == 5
+        assert d["total"] == pytest.approx(1006.5)
+        assert d["min"] == 0.5
+        assert d["max"] == 1000
+        # 0.5 and 1 -> bucket 0; 2 -> 1; 3 -> 2; 1000 -> 10
+        assert d["buckets"] == {"0": 2, "1": 1, "2": 1, "10": 1}
+        assert h.mean == pytest.approx(1006.5 / 5)
+
+    def test_timer_context_manager_accumulates(self):
+        reg = Registry()
+        t = reg.timer("work")
+        with t:
+            pass
+        t.observe(0.5)
+        d = t.as_dict()
+        assert d["count"] == 2
+        assert d["total_s"] >= 0.5
+        assert d["max_s"] >= 0.5
+
+    def test_kind_mismatch_raises(self):
+        reg = Registry()
+        reg.counter("x")
+        with pytest.raises(ObsError, match="already registered"):
+            reg.gauge("x")
+
+
+class TestModuleSwitch:
+    def test_disabled_hands_out_shared_null_instruments(self):
+        assert not obs.enabled()
+        assert obs.counter("a") is NULL_COUNTER
+        assert obs.gauge("a") is NULL_GAUGE
+        assert obs.histogram("a") is NULL_HISTOGRAM
+        assert obs.timer("a") is NULL_TIMER
+        # the no-ops really are no-ops
+        obs.counter("a").add(5)
+        obs.gauge("a").set(5)
+        obs.histogram("a").record(5)
+        with obs.timer("a"):
+            pass
+
+    def test_enabled_records_into_the_active_registry(self):
+        reg = obs.enable()
+        obs.counter("hits").add(3)
+        assert reg.counter("hits").value == 3
+        obs.disable()
+        assert obs.active() is None
+
+    def test_capture_restores_previous_state(self):
+        outer = obs.enable()
+        with obs.capture() as inner:
+            obs.counter("c").add()
+            assert obs.active() is inner
+        assert obs.active() is outer
+        assert inner.counter("c").value == 1
+        assert outer.counter("c").value == 0
+
+    def test_snapshot_while_disabled_is_schema_valid_and_empty(self):
+        snap = obs.snapshot(meta={"note": "empty"})
+        validate_snapshot(snap)
+        assert snap["counters"] == {}
+        assert snap["meta"]["note"] == "empty"
+
+
+class TestRegistry:
+    def test_prefixed_views_nest(self):
+        reg = Registry()
+        view = reg.prefixed("tmu.tg.layer0").prefixed("lane1")
+        view.counter("iterations").add(4)
+        assert reg.counter("tmu.tg.layer0.lane1.iterations").value == 4
+
+    def test_merge_folds_worker_bodies(self):
+        parent = Registry()
+        parent.counter("n").add(1)
+        parent.histogram("h").record(8)
+        worker = Registry()
+        worker.counter("n").add(2)
+        worker.histogram("h").record(16)
+        worker.gauge("g").set(5)
+        worker.timer("t").observe(0.25)
+        parent.merge(worker.as_dict())
+        assert parent.counter("n").value == 3
+        assert parent.histogram("h").count == 2
+        assert parent.histogram("h").buckets == {3: 1, 4: 1}
+        assert parent.gauge("g").high_water == 5
+        assert parent.timer("t").total == pytest.approx(0.25)
+
+    def test_add_deltas_never_double_counts(self):
+        reg = Registry()
+        seen: dict = {}
+        add_deltas(reg.prefixed("c"), {"lines": 10}, seen)
+        add_deltas(reg.prefixed("c"), {"lines": 10}, seen)  # unchanged
+        add_deltas(reg.prefixed("c"), {"lines": 15}, seen)
+        assert reg.counter("c.lines").value == 15
+
+
+class TestSnapshot:
+    def _registry(self):
+        reg = Registry()
+        reg.counter("runs").add(2)
+        reg.gauge("rate").set(1.5)
+        reg.histogram("sizes").record(64)
+        reg.timer("wall").observe(0.125)
+        return reg
+
+    def test_round_trip(self, tmp_path):
+        snap = make_snapshot(self._registry(), meta={"scale": "small"})
+        path = write_snapshot(snap, tmp_path / "run.json")
+        loaded = load_snapshot(path)
+        assert loaded == json.loads(json.dumps(snap))
+        assert loaded["schema"] == SCHEMA
+        assert loaded["meta"]["scale"] == "small"
+        assert "rev" in loaded["meta"] and "python" in loaded["meta"]
+
+    def test_bench_snapshot_named_after_rev(self, tmp_path):
+        snap = make_snapshot(self._registry(), meta={"rev": "abc1234"})
+        path = write_bench_snapshot(snap, tmp_path)
+        assert path.name == "BENCH_abc1234.json"
+        load_snapshot(path)
+
+    @pytest.mark.parametrize(
+        "mutate, match",
+        [
+            (lambda s: s.update(schema="repro.obs/0"), "unsupported"),
+            (lambda s: s.pop("created_unix"), "created_unix"),
+            (lambda s: s.pop("meta"), "meta"),
+            (lambda s: s.pop("timers"), "timers"),
+            (lambda s: s["counters"].update(bad="x"), "must be a number"),
+            (lambda s: s["gauges"]["rate"].pop("high_water"), "missing fields"),
+        ],
+    )
+    def test_validation_catches_violations(self, mutate, match):
+        snap = make_snapshot(self._registry())
+        mutate(snap)
+        with pytest.raises(ObsError, match=match):
+            validate_snapshot(snap)
+
+    def test_render_dump_lists_every_metric(self):
+        snap = make_snapshot(self._registry())
+        text = render_snapshot(snap)
+        for name in ("runs", "rate", "sizes", "wall"):
+            assert name in text
+
+
+class TestDiffAndGate:
+    def _snap(self, cells_per_sec, runs=3):
+        reg = Registry()
+        reg.counter("runs").add(runs)
+        reg.gauge("cells_per_sec").set(cells_per_sec)
+        return make_snapshot(reg)
+
+    def test_diff_rows(self):
+        rows = diff_snapshots(self._snap(10.0), self._snap(12.0, runs=4))
+        by_name = {r["metric"]: r for r in rows}
+        assert by_name["cells_per_sec"]["delta"] == pytest.approx(2.0)
+        assert by_name["cells_per_sec"]["ratio"] == pytest.approx(1.2)
+        assert by_name["runs"]["delta"] == 1
+        assert "cells_per_sec" in render_diff(rows)
+
+    def test_diff_handles_one_sided_metrics(self):
+        a = self._snap(10.0)
+        b = self._snap(10.0)
+        b["counters"]["only_b"] = 7
+        rows = {r["metric"]: r for r in diff_snapshots(a, b)}
+        assert rows["only_b"]["a"] is None
+        assert rows["only_b"]["delta"] is None
+
+    def test_gate_passes_within_bound(self):
+        ok, msg = check_regression(
+            self._snap(9.0),
+            self._snap(10.0),
+            metric="cells_per_sec",
+            max_regression=0.2,
+        )
+        assert ok and msg.startswith("ok")
+
+    def test_gate_fails_beyond_bound(self):
+        ok, msg = check_regression(
+            self._snap(7.0),
+            self._snap(10.0),
+            metric="cells_per_sec",
+            max_regression=0.2,
+        )
+        assert not ok and msg.startswith("REGRESSION")
+
+    def test_gate_fails_on_missing_metric(self):
+        ok, msg = check_regression(
+            self._snap(10.0),
+            self._snap(10.0),
+            metric="nonexistent",
+            max_regression=0.2,
+        )
+        assert not ok and "missing" in msg
+
+    def test_gate_lower_is_better_flips_direction(self):
+        ok, _ = check_regression(
+            self._snap(13.0),
+            self._snap(10.0),
+            metric="cells_per_sec",
+            max_regression=0.2,
+            higher_is_better=False,
+        )
+        assert not ok
+
+
+def _two_layer_program(rows=3, cols_per_row=2):
+    """A tiny dense row-by-row traversal (mirrors the engine tests)."""
+    import numpy as np
+
+    from repro.tmu.program import Event, LayerMode, Program
+
+    prog = Program("nest", lanes=1)
+    n = rows * cols_per_row
+    data = prog.place_array(np.arange(float(n)), 8, "data")
+    ptrs = prog.place_array(
+        np.arange(rows + 1, dtype=np.int64) * cols_per_row, 4, "ptrs"
+    )
+    l0 = prog.add_layer(LayerMode.SINGLE)
+    row = l0.dns_fbrt(beg=0, end=rows)
+    beg = row.add_mem_stream(ptrs, name="beg")
+    end = row.add_mem_stream(ptrs, offset=1, name="end")
+    l0.add_callback(Event.GITE, "outer_ite", [])
+    l1 = prog.add_layer(LayerMode.SINGLE)
+    col = l1.rng_fbrt(beg=beg, end=end)
+    val = col.add_mem_stream(data, name="val")
+    l1.add_callback(Event.GITE, "inner_ite", [l1.vec_operand([val])])
+    return prog
+
+
+class TestEngineIntegration:
+    def test_engine_run_publishes_matching_counters(self):
+        from repro.tmu.engine import TmuEngine
+
+        with obs.capture() as reg:
+            engine = TmuEngine(_two_layer_program())
+            stats = engine.run()
+        body = reg.as_dict()
+        assert body["counters"]["tmu.engine.runs"] == 1
+        assert body["counters"]["tmu.outq.records"] == stats.outq_records
+        assert body["counters"]["tmu.arbiter.lines"] == stats.memory_lines
+
+    def test_rerun_uses_deltas_not_lifetime_totals(self):
+        from repro.tmu.engine import TmuEngine
+
+        engine = TmuEngine(_two_layer_program())
+        with obs.capture() as first:
+            stats = engine.run()
+        with obs.capture() as second:
+            engine.run()
+        # Both captures see one run's worth of records, not cumulative.
+        records = "tmu.outq.records"
+        assert first.as_dict()["counters"][records] == stats.outq_records
+        assert second.as_dict()["counters"][records] == stats.outq_records

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.config import experiment_machine
 from repro.errors import SimulationError, WorkloadError
 from repro.generators import uniform_random_matrix
 from repro.kernels import spmspm
@@ -14,7 +13,6 @@ from repro.kernels.schedules import (
     spmspm_outer_product,
 )
 from repro.sim.parallel import (
-    ParallelResult,
     core_scaling,
     parallel_speedup,
     partition_rows,

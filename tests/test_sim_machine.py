@@ -1,6 +1,5 @@
 """System-level run tests: baseline/TMU/Single-Lane/IMP invariants."""
 
-import numpy as np
 import pytest
 
 from repro.config import experiment_machine

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.config import default_machine, experiment_machine
 from repro.errors import SimulationError
 from repro.sim.core import CycleBreakdown, IntervalCoreModel
 from repro.sim.memsys import (

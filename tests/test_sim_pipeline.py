@@ -6,7 +6,6 @@ from hypothesis import given, settings, strategies as st
 
 from repro.errors import SimulationError
 from repro.sim.pipeline import (
-    PipelineResult,
     chunk_times_from_totals,
     simulate_outq_pipeline,
 )

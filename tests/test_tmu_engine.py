@@ -92,9 +92,9 @@ class TestEnvResolution:
 
     def test_missing_operand_raises(self):
         prog = Program("broken", lanes=1)
-        arr = prog.place_array(np.zeros(4), 8, "a")
+        prog.place_array(np.zeros(4), 8, "a")
         l0 = prog.add_layer(LayerMode.SINGLE)
-        tu0 = l0.dns_fbrt(beg=0, end=2)
+        l0.dns_fbrt(beg=0, end=2)
         stray_prog = Program("other", lanes=1)
         stray_arr = stray_prog.place_array(np.zeros(4), 8, "b")
         stray_l0 = stray_prog.add_layer(LayerMode.SINGLE)

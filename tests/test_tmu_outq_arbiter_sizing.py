@@ -6,7 +6,7 @@ import pytest
 from repro.errors import TMUConfigError
 from repro.tmu.arbiter import MemoryArbiter
 from repro.tmu.outq import MaskValue, OutQueue, OutQueueRecord
-from repro.tmu.sizing import MIN_ENTRIES, QueueSizing, size_queues
+from repro.tmu.sizing import MIN_ENTRIES, size_queues
 from repro.tmu.streams import MemoryArray
 from repro.tmu.tu import PrimitiveKind, TraversalUnit
 

@@ -90,7 +90,7 @@ class TestValidation:
     def test_uniform_streams_per_layer(self, prog):
         layer = prog.add_layer(LayerMode.LOCKSTEP)
         tu0 = layer.dns_fbrt(beg=0, end=4)
-        tu1 = layer.dns_fbrt(beg=0, end=4)
+        layer.dns_fbrt(beg=0, end=4)
         arr = prog.place_array(np.zeros(4), 8, "a")
         tu0.add_mem_stream(arr)
         with pytest.raises(TMUConfigError):
