@@ -43,7 +43,13 @@ def scale() -> str:
 @pytest.fixture(scope="session", autouse=True)
 def telemetry_session():
     """Record simulator telemetry for the whole benchmark session and
-    extend the perf trajectory on exit."""
+    extend the perf trajectory on exit.
+
+    The snapshot is filed under ``BENCH_<rev>.json``; when ``git`` is
+    unavailable the rev falls back to ``unknown``, and a modified
+    worktree gets a ``-dirty`` suffix so a perf point is never
+    misattributed to a clean commit.
+    """
     from repro import obs
 
     if os.environ.get("REPRO_BENCH_SNAPSHOT", "1") == "0":
@@ -51,7 +57,8 @@ def telemetry_session():
         return
     registry = obs.enable()
     yield registry
-    snap = obs.snapshot(meta={"suite": "benchmarks", "scale": "small"})
+    snap = obs.snapshot(meta={"suite": "benchmarks", "scale": "small",
+                              "rev": obs.bench_rev()})
     obs.disable()
     out_dir = Path(os.environ.get("REPRO_BENCH_DIR", REPO_ROOT))
     path = obs.write_bench_snapshot(snap, out_dir)

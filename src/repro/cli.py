@@ -8,6 +8,10 @@ Usage::
     python -m repro fig13 --telemetry run.json   # write a perf snapshot
     python -m repro stats dump run.json          # inspect a snapshot
     python -m repro stats diff base.json run.json --max-regression 0.2
+    python -m repro fig13 --trace trace.json     # record an event timeline
+    python -m repro trace record fig13 --out trace.json --sample 4
+    python -m repro trace export trace.json      # Perfetto-loadable JSON
+    python -m repro trace report trace.json      # stall attribution
     python -m repro cache-gc          # reclaim stale cache entries
     tmu-repro table6
 
@@ -21,6 +25,11 @@ wall times, cache hits, failures) next to the cache.
 writes a schema-versioned perf snapshot to PATH; ``stats`` dumps,
 diffs, and regression-gates such snapshots (the ``bench-smoke`` CI job
 is built from exactly these two pieces).
+
+``--trace [PATH]`` additionally records an event timeline
+(:mod:`repro.obs.tracing`) and writes a ``repro.trace/1`` JSON file;
+``trace export`` converts it to Perfetto-loadable JSON and ``trace
+report`` folds it into a per-component stall/cycle decomposition.
 """
 
 from __future__ import annotations
@@ -147,7 +156,110 @@ def _build_parser() -> argparse.ArgumentParser:
              "write a perf snapshot (JSON) to PATH; inspect it with "
              "'tmu-repro stats'",
     )
+    parser.add_argument(
+        "--trace",
+        nargs="?",
+        const="trace.json",
+        default=None,
+        metavar="PATH",
+        help="enable event tracing for this run and write a "
+             "repro.trace timeline (JSON) to PATH (default: "
+             "trace.json); consume it with 'tmu-repro trace'",
+    )
+    parser.add_argument(
+        "--trace-capacity",
+        type=int,
+        default=65536,
+        metavar="N",
+        help="trace ring-buffer capacity in events; the oldest "
+             "fine-grained events are dropped beyond it (default: "
+             "65536)",
+    )
+    parser.add_argument(
+        "--trace-sample",
+        type=int,
+        default=1,
+        metavar="N",
+        help="keep every Nth instant/counter trace event (spans are "
+             "always kept; default: 1 = everything)",
+    )
     return parser
+
+
+# ------------------------------------------------------------------- trace
+
+def _build_trace_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="tmu-repro trace",
+        description="Record, export and analyze repro.trace event "
+                    "timelines.",
+    )
+    sub = parser.add_subparsers(dest="action", required=True)
+
+    record = sub.add_parser(
+        "record",
+        help="run an experiment with tracing enabled (shorthand for "
+             "'<experiment> --trace PATH --no-cache'; the cache is "
+             "bypassed so every cell is actually simulated)")
+    record.add_argument("experiment", choices=sorted(_COMMANDS),
+                        help="experiment to trace")
+    record.add_argument("--out", default="trace.json", metavar="PATH",
+                        help="trace output path (default: trace.json)")
+    record.add_argument("--scale", default="small",
+                        choices=("small", "medium", "paper"))
+    record.add_argument("--workloads", default=None, metavar="W1,W2",
+                        help="comma-separated workload filter")
+    record.add_argument("--jobs", "-j", type=int, default=1, metavar="N")
+    record.add_argument("--sample", type=int, default=1, metavar="N",
+                        help="keep every Nth instant/counter event")
+    record.add_argument("--capacity", type=int, default=65536,
+                        metavar="N", help="ring-buffer capacity")
+
+    export = sub.add_parser(
+        "export", help="validate a trace and export Perfetto-loadable "
+                       "JSON (open it at https://ui.perfetto.dev)")
+    export.add_argument("trace", help="repro.trace JSON file")
+    export.add_argument("--out", default=None, metavar="PATH",
+                        help="output path (default: "
+                             "<trace>.perfetto.json)")
+
+    report = sub.add_parser(
+        "report", help="fold a trace into the per-component "
+                       "stall/cycle decomposition")
+    report.add_argument("trace", help="repro.trace JSON file")
+    return parser
+
+
+def _trace_main(argv: list[str]) -> int:
+    args = _build_trace_parser().parse_args(argv)
+    try:
+        if args.action == "record":
+            forwarded = [args.experiment, "--scale", args.scale,
+                         "--jobs", str(args.jobs), "--no-cache",
+                         "--trace", args.out,
+                         "--trace-sample", str(args.sample),
+                         "--trace-capacity", str(args.capacity)]
+            if args.workloads:
+                forwarded += ["--workloads", args.workloads]
+            return main(forwarded)
+        trace = obs.load_trace(args.trace)
+        if args.action == "export":
+            out = args.out
+            if out is None:
+                out = str(Path(args.trace).with_suffix("")) + (
+                    ".perfetto.json")
+            path = obs.write_perfetto(trace, out)
+            print(f"perfetto export: {path} "
+                  f"({len(trace['events'])} events)")
+            return 0
+        print(obs.stall_report(trace))
+        return 0
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        sys.stderr.close()
+        return 0
 
 
 # ------------------------------------------------------------------- stats
@@ -267,6 +379,8 @@ def main(argv: list[str] | None = None) -> int:
     argv = sys.argv[1:] if argv is None else list(argv)
     if argv and argv[0] == "stats":
         return _stats_main(argv[1:])
+    if argv and argv[0] == "trace":
+        return _trace_main(argv[1:])
     args = _build_parser().parse_args(argv)
 
     if args.experiment in _CACHE_COMMANDS:
@@ -274,6 +388,13 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.telemetry is not None:
         obs.enable()
+    if args.trace is not None:
+        try:
+            obs.enable_tracing(capacity=args.trace_capacity,
+                               sample_every=args.trace_sample)
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
 
     workloads = None
     if args.workloads:
@@ -309,6 +430,8 @@ def main(argv: list[str] | None = None) -> int:
                                                      encoding="utf-8")
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
+        obs.disable()
+        obs.disable_tracing()
         return 1
 
     if args.telemetry is not None:
@@ -321,6 +444,19 @@ def main(argv: list[str] | None = None) -> int:
         path = obs.write_snapshot(snap, args.telemetry)
         obs.disable()
         print(f"telemetry snapshot: {path}", file=sys.stderr)
+
+    if args.trace is not None:
+        trace = obs.trace_snapshot(meta={
+            "experiments": ",".join(names),
+            "scale": args.scale,
+            "jobs": args.jobs,
+            "workloads": args.workloads or "all",
+        })
+        obs.disable_tracing()
+        path = obs.write_trace(trace, args.trace)
+        print(f"trace: {path} ({len(trace['events'])} events, "
+              f"{trace['ticks']} ticks, {trace['dropped']} dropped)",
+              file=sys.stderr)
 
     manifest = _combined_manifest(rt)
     if manifest is not None:

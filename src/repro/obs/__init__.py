@@ -25,6 +25,12 @@ Snapshots serialize to the stable JSON schema in
 :mod:`repro.obs.snapshot`; ``repro stats`` dumps and diffs them, and the
 ``bench-smoke`` CI job gates on schema validity plus a cells/sec
 regression bound.
+
+The metrics answer *how much*; :mod:`repro.obs.tracing` answers *when*:
+an event timeline (spans / instants / counter samples on the same
+dotted paths) behind its own switch (:func:`enable_tracing` /
+:func:`trace_capture`), exported to Perfetto or folded into a stall
+report by :mod:`repro.obs.export` and the ``repro trace`` CLI.
 """
 
 from __future__ import annotations
@@ -42,8 +48,31 @@ from .metrics import (
     Timer,
 )
 from .registry import PrefixedRegistry, Registry, add_deltas
+from .export import (
+    fold_trace,
+    stall_report,
+    to_perfetto,
+    write_perfetto,
+)
+from .tracing import (
+    NULL_TRACER,
+    TRACE_SCHEMA,
+    Tracer,
+    active_tracer,
+    disable_tracing,
+    enable_tracing,
+    load_trace,
+    make_trace,
+    trace_capture,
+    trace_snapshot,
+    tracer,
+    tracing_enabled,
+    validate_trace,
+    write_trace,
+)
 from .snapshot import (
     SCHEMA,
+    bench_rev,
     check_regression,
     current_rev,
     diff_snapshots,
@@ -52,6 +81,7 @@ from .snapshot import (
     render_diff,
     render_snapshot,
     validate_snapshot,
+    worktree_dirty,
     write_bench_snapshot,
     write_snapshot,
 )
@@ -85,6 +115,26 @@ __all__ = [
     "render_snapshot",
     "check_regression",
     "current_rev",
+    "bench_rev",
+    "worktree_dirty",
+    "Tracer",
+    "NULL_TRACER",
+    "TRACE_SCHEMA",
+    "enable_tracing",
+    "disable_tracing",
+    "tracing_enabled",
+    "active_tracer",
+    "tracer",
+    "trace_capture",
+    "trace_snapshot",
+    "make_trace",
+    "validate_trace",
+    "load_trace",
+    "write_trace",
+    "to_perfetto",
+    "write_perfetto",
+    "fold_trace",
+    "stall_report",
 ]
 
 _active: Registry | None = None

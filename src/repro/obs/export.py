@@ -1,0 +1,290 @@
+"""Trace consumers: Perfetto export and stall attribution.
+
+Two ways to look at a ``repro.trace/1`` timeline
+(:mod:`repro.obs.tracing`):
+
+* :func:`to_perfetto` / :func:`write_perfetto` — convert to the Chrome
+  trace-event JSON that https://ui.perfetto.dev (and ``chrome://tracing``)
+  loads directly.  Each top-level dotted prefix becomes a Perfetto
+  *process* (``tmu`` ticks, ``sim`` cycles, ``runtime`` microseconds —
+  the units never need to align across processes) and each full track
+  path becomes a named *thread*, so the timeline shows one swim lane
+  per TU lane, TG layer, arbiter, outQ, core and executor.
+
+* :func:`fold_trace` / :func:`stall_report` — collapse the timeline
+  into a per-component decomposition: TMU merge-stall shares per layer,
+  arbiter and outQ totals, and the interval core's
+  committing/frontend/backend cycle split, cross-checkable against the
+  paper's Fig. 11 breakdown.  The report folds the *summary* spans the
+  engine emits at end of run (sourced from the same counters as
+  ``RunStats``, and last to enter the ring buffer so they survive
+  capacity pressure), never the sampled instants — so it stays exact
+  under sampling and ring-buffer drops.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .metrics import Histogram
+
+#: Perfetto process ids per top-level track prefix (with clock units)
+_PROCESSES = {
+    "tmu": (1, "tmu (ticks)"),
+    "sim": (2, "sim (cycles)"),
+    "runtime": (3, "runtime (us)"),
+}
+
+#: the interval core model's phase spans (paper Fig. 11 decomposition)
+CORE_PHASES = ("committing", "frontend", "backend")
+
+#: span names the engine emits as cumulative end-of-run summaries
+SUMMARY_NAMES = frozenset({"layer_summary", "summary", "run"})
+
+
+def _process_of(track: str) -> tuple[int, str]:
+    head = track.split(".", 1)[0]
+    return _PROCESSES.get(head, (0, head))
+
+
+def to_perfetto(trace: dict) -> dict:
+    """Convert a validated trace to Chrome-trace-event JSON."""
+    events: list[dict] = []
+    named_processes: set[int] = set()
+    threads: dict[str, int] = {}
+    for ts, dur, phase, track, name, args in trace["events"]:
+        pid, process_name = _process_of(track)
+        if pid not in named_processes:
+            named_processes.add(pid)
+            events.append(
+                {
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": 0,
+                    "name": "process_name",
+                    "args": {"name": process_name},
+                }
+            )
+        tid = threads.get(track)
+        if tid is None:
+            tid = threads[track] = len(threads) + 1
+            events.append(
+                {
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": tid,
+                    "name": "thread_name",
+                    "args": {"name": track},
+                }
+            )
+        event = {
+            "ph": phase,
+            "ts": ts,
+            "pid": pid,
+            "tid": tid,
+            "name": name,
+            "cat": track,
+        }
+        if phase == "X":
+            event["dur"] = dur
+        elif phase == "i":
+            event["s"] = "t"
+        if args:
+            event["args"] = args
+        events.append(event)
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ns",
+        "otherData": dict(trace.get("meta", {})),
+    }
+
+
+def write_perfetto(trace: dict, path: str | Path) -> Path:
+    """Export a trace as Perfetto-loadable JSON at ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(to_perfetto(trace)) + "\n")
+    return path
+
+
+def fold_trace(trace: dict) -> dict:
+    """Aggregate a timeline for reporting.
+
+    Returns ``summaries`` (last-wins args of each named summary span —
+    the engine emits them cumulatively, so the freshest one is the
+    truth), ``durations`` (a :class:`Histogram` of span lengths per
+    (track, name)), and ``core_phases`` (total cycles per interval-model
+    phase).
+    """
+    summaries: dict[tuple[str, str], dict] = {}
+    durations: dict[tuple[str, str], Histogram] = {}
+    core_phases = dict.fromkeys(CORE_PHASES, 0.0)
+    for ts, dur, phase, track, name, args in trace["events"]:
+        if phase != "X":
+            continue
+        key = (track, name)
+        hist = durations.get(key)
+        if hist is None:
+            hist = durations[key] = Histogram(f"{track}/{name}")
+        hist.record(dur)
+        if args is not None and name in SUMMARY_NAMES:
+            summaries[key] = args
+        if track == "sim.core" and name in core_phases:
+            core_phases[name] += dur
+    return {
+        "summaries": summaries,
+        "durations": durations,
+        "core_phases": core_phases,
+        "events": len(trace["events"]),
+        "dropped": trace["dropped"],
+    }
+
+
+def _table(headers: list[str], rows: list[list[str]]) -> list[str]:
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for k, cell in enumerate(row):
+            widths[k] = max(widths[k], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[k]) for k, h in enumerate(headers)).rstrip()
+    ]
+    for row in rows:
+        lines.append(
+            "  ".join(c.rjust(widths[k]) for k, c in enumerate(row)).rstrip()
+        )
+    return lines
+
+
+def _share(part: float, whole: float) -> str:
+    return f"{100.0 * part / whole:.1f}%" if whole else "-"
+
+
+def stall_report(trace: dict) -> str:
+    """Render the per-component stall/cycle decomposition as text."""
+    folded = fold_trace(trace)
+    summaries = folded["summaries"]
+    lines: list[str] = []
+    meta = trace.get("meta", {})
+    experiments = meta.get("experiments")
+    title = "stall attribution"
+    if experiments:
+        title += f" · {experiments}"
+    lines.append(title)
+    lines.append(
+        f"events: {folded['events']}  dropped: {folded['dropped']}  "
+        f"sample_every: {trace['sample_every']}"
+    )
+
+    layers = sorted(
+        (args for (t, n), args in summaries.items() if n == "layer_summary"),
+        key=lambda a: a.get("layer", 0),
+    )
+    if layers:
+        lines.append("")
+        lines.append("TMU pipeline (per TG layer):")
+        rows = []
+        tot_it = tot_ms = tot_stall = 0
+        for args in layers:
+            it = int(args.get("iterations", 0))
+            ms = int(args.get("merge_steps", 0))
+            stall = int(args.get("stall_advances", 0))
+            tot_it += it
+            tot_ms += ms
+            tot_stall += stall
+            rows.append(
+                [
+                    f"layer{args.get('layer', '?')}",
+                    str(args.get("lanes", "?")),
+                    str(args.get("activations", 0)),
+                    str(it),
+                    str(ms),
+                    str(stall),
+                    _share(stall, ms),
+                ]
+            )
+        rows.append(
+            [
+                "total",
+                "",
+                "",
+                str(tot_it),
+                str(tot_ms),
+                str(tot_stall),
+                _share(tot_stall, tot_ms),
+            ]
+        )
+        headers = [
+            "layer",
+            "lanes",
+            "activations",
+            "iterations",
+            "merge_steps",
+            "stalls",
+            "stall%",
+        ]
+        lines.extend("  " + ln for ln in _table(headers, rows))
+
+    engine = summaries.get(("tmu.engine", "run"))
+    if engine:
+        lines.append("")
+        lines.append(
+            "  engine totals: "
+            f"iterations={engine.get('iterations')} "
+            f"records={engine.get('records')} "
+            f"memory_lines={engine.get('memory_lines')}"
+        )
+
+    arbiter = summaries.get(("tmu.arbiter", "summary"))
+    if arbiter:
+        lines.append("")
+        lines.append(
+            "memory arbiter: "
+            f"touches={arbiter.get('touches')} "
+            f"lines={arbiter.get('lines')} "
+            f"bytes={arbiter.get('bytes')}"
+        )
+    outq = summaries.get(("tmu.outq", "summary"))
+    if outq:
+        lines.append(
+            "outQ: "
+            f"records={outq.get('records')} "
+            f"bytes={outq.get('bytes')} "
+            f"chunks={outq.get('chunks')}"
+        )
+
+    core = folded["core_phases"]
+    total_cycles = sum(core.values())
+    if total_cycles:
+        lines.append("")
+        lines.append("core cycle decomposition (Fig. 11):")
+        rows = [
+            [phase, f"{core[phase]:.0f}", _share(core[phase], total_cycles)]
+            for phase in CORE_PHASES
+        ]
+        rows.append(["total", f"{total_cycles:.0f}", ""])
+        lines.extend("  " + ln for ln in _table(["phase", "cycles", "share"], rows))
+
+    spans = [
+        (track, name, h)
+        for (track, name), h in sorted(folded["durations"].items())
+        if h.count and h.max > 0 and (track, name) not in summaries
+    ]
+    if spans:
+        lines.append("")
+        lines.append("span durations (virtual ticks):")
+        rows = [
+            [
+                f"{track}/{name}",
+                str(h.count),
+                f"{h.total:.0f}",
+                f"{h.mean:.1f}",
+                f"{h.quantile(0.5):.1f}",
+                f"{h.quantile(0.95):.1f}",
+            ]
+            for track, name, h in spans
+        ]
+        headers = ["span", "count", "total", "mean", "p50", "p95"]
+        lines.extend("  " + ln for ln in _table(headers, rows))
+
+    return "\n".join(lines)

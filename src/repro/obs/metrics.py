@@ -116,6 +116,27 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (``0 <= q <= 1``) from the bucket
+        shape, interpolating linearly inside the winning power-of-two
+        bucket and clamping to the exact [min, max] envelope.  Returns
+        0.0 for an empty histogram."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile q must be in [0, 1], got {q}")
+        if not self.count:
+            return 0.0
+        target = q * self.count
+        seen = 0
+        for b in sorted(self.buckets):
+            n = self.buckets[b]
+            if seen + n >= target:
+                lo = 0.0 if b == 0 else 2.0 ** (b - 1)
+                hi = 1.0 if b == 0 else 2.0**b
+                frac = (target - seen) / n
+                return min(max(lo + frac * (hi - lo), self.min), self.max)
+            seen += n
+        return self.max
+
     def as_dict(self) -> dict:
         return {
             "count": self.count,
@@ -149,9 +170,14 @@ class Timer:
             ...
 
     or feed externally measured durations through :meth:`observe`.
+
+    The context manager is exception-safe (elapsed time is recorded even
+    when the body raises) and reentrant: nested ``with`` blocks on the
+    *same* timer keep their start times on a stack, so each level
+    observes its own elapsed interval.
     """
 
-    __slots__ = ("name", "count", "total", "min", "max", "_t0")
+    __slots__ = ("name", "count", "total", "min", "max", "_starts")
 
     kind = "timer"
 
@@ -161,7 +187,7 @@ class Timer:
         self.total = 0.0
         self.min = math.inf
         self.max = -math.inf
-        self._t0: float | None = None
+        self._starts: list[float] = []
 
     def observe(self, seconds: float) -> None:
         self.count += 1
@@ -172,13 +198,12 @@ class Timer:
             self.max = seconds
 
     def __enter__(self) -> "Timer":
-        self._t0 = time.perf_counter()
+        self._starts.append(time.perf_counter())
         return self
 
     def __exit__(self, *exc) -> None:
-        if self._t0 is not None:
-            self.observe(time.perf_counter() - self._t0)
-            self._t0 = None
+        if self._starts:
+            self.observe(time.perf_counter() - self._starts.pop())
 
     def as_dict(self) -> dict:
         return {

@@ -59,6 +59,33 @@ def current_rev(default: str = "unknown") -> str:
         return default
 
 
+def worktree_dirty() -> bool:
+    """True when the git worktree has uncommitted changes (False when
+    git itself is unavailable — an unknown tree is not declared dirty)."""
+    try:
+        out = subprocess.run(
+            ["git", "status", "--porcelain"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+            check=True,
+        )
+        return bool(out.stdout.strip())
+    except (OSError, subprocess.SubprocessError):
+        return False
+
+
+def bench_rev(default: str = "unknown") -> str:
+    """The label benchmark snapshots are filed under: the short git rev
+    (``default`` when git is unavailable, instead of failing), with a
+    ``-dirty`` suffix when the worktree is modified so a perf point is
+    never misattributed to a clean commit."""
+    rev = current_rev(default)
+    if worktree_dirty():
+        rev += "-dirty"
+    return rev
+
+
 def make_snapshot(registry: Registry, meta: dict | None = None) -> dict:
     """Serialize a registry into a schema-versioned snapshot dict."""
     full_meta = {
@@ -129,7 +156,7 @@ def load_snapshot(path: str | Path) -> dict:
 
 def write_bench_snapshot(snap: dict, directory: str | Path = ".") -> Path:
     """Append this run to the perf trajectory: ``BENCH_<rev>.json``."""
-    rev = snap.get("meta", {}).get("rev") or current_rev()
+    rev = snap.get("meta", {}).get("rev") or bench_rev()
     return write_snapshot(snap, Path(directory) / f"BENCH_{rev}.json")
 
 

@@ -20,6 +20,7 @@ the sweep.
 from __future__ import annotations
 
 import time
+from contextlib import ExitStack
 from concurrent.futures import ProcessPoolExecutor, TimeoutError as \
     FutureTimeoutError
 from concurrent.futures.process import BrokenProcessPool
@@ -33,21 +34,31 @@ from .manifest import ManifestEntry, RunManifest
 from .task import SimTask, run_from_record
 
 
-def _evaluate_task(task: SimTask, capture_telemetry: bool = False) -> dict:
+def _evaluate_task(task: SimTask, capture_telemetry: bool = False,
+                   capture_trace: bool = False) -> dict:
     """Module-level worker entry point (must be picklable).
 
-    ``capture_telemetry`` is set on process-pool submissions when the
-    parent has :mod:`repro.obs` enabled: the worker records into a fresh
-    registry and ships its body back on the record (under a transient
-    ``"telemetry"`` key the executor strips and merges), so per-layer
-    simulator metrics survive the process boundary.  In-process
-    evaluation records into the parent registry directly.
+    ``capture_telemetry`` / ``capture_trace`` are set on process-pool
+    submissions when the parent has :mod:`repro.obs` telemetry/tracing
+    enabled: the worker records into a fresh registry (and a fresh
+    tracer), shipping the bodies back on the record under transient
+    ``"telemetry"`` / ``"trace"`` keys the executor strips and merges,
+    so per-layer simulator metrics and the event timeline survive the
+    process boundary.  In-process evaluation records into the parent
+    registry/tracer directly.
     """
-    if not capture_telemetry:
+    if not capture_telemetry and not capture_trace:
         return task.evaluate()
-    with obs.capture() as registry:
+    with ExitStack() as stack:
+        registry = stack.enter_context(obs.capture()) if (
+            capture_telemetry) else None
+        tracer = stack.enter_context(obs.trace_capture()) if (
+            capture_trace) else None
         record = task.evaluate()
-    record["telemetry"] = registry.as_dict()
+    if registry is not None:
+        record["telemetry"] = registry.as_dict()
+    if tracer is not None:
+        record["trace"] = tracer.as_dict()
     return record
 
 
@@ -162,7 +173,8 @@ class Runtime:
         with pool:
             try:
                 futures = [(i, pool.submit(_evaluate_task, t,
-                                           obs.enabled()))
+                                           obs.enabled(),
+                                           obs.tracing_enabled()))
                            for i, t in enumerate(tasks)]
             except BrokenProcessPool:
                 self._emit("process pool broke on submit; "
@@ -248,16 +260,31 @@ class Runtime:
             fresh = self._run_serial(misses)
         else:
             fresh = []
+        tracer = obs.tracer()
         for outcome in fresh:
             if outcome.ok:
-                # Worker-captured telemetry rides back on the record;
-                # fold it into the parent registry and keep it out of
-                # the cache (it describes one execution, not the cell).
+                # Worker-captured telemetry and traces ride back on the
+                # record; fold them into the parent registry/tracer and
+                # keep them out of the cache (they describe one
+                # execution, not the cell).
                 telemetry = outcome.record.pop("telemetry", None)
                 if telemetry is not None and obs.enabled():
                     obs.active().merge(telemetry)
+                trace_body = outcome.record.pop("trace", None)
+                if trace_body is not None and tracer.enabled:
+                    tracer.merge(trace_body)
                 self.cache.put(outcome.task, outcome.record)
             outcomes[outcome.task.content_hash()] = outcome
+        if tracer.enabled:
+            # One executor span per freshly simulated cell, in wall-
+            # clock microseconds on the runtime track.
+            for outcome in fresh:
+                us = int(outcome.wall_time * 1e6)
+                tracer.span("runtime.executor", outcome.task.label,
+                            tracer.alloc(us), us, {
+                                "ok": outcome.ok,
+                                "attempts": outcome.attempts,
+                            })
 
         entries = [
             ManifestEntry(

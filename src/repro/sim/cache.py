@@ -88,10 +88,19 @@ class Cache:
                 hit_count += 1
         self.stats.accesses += lines.size
         self.stats.hits += hit_count
-        if self.name and obs.enabled():
-            view = obs.active().prefixed(f"sim.cache.{self.name}")
-            view.counter("accesses").add(int(lines.size))
-            view.counter("hits").add(hit_count)
+        if self.name:
+            if obs.enabled():
+                view = obs.active().prefixed(f"sim.cache.{self.name}")
+                view.counter("accesses").add(int(lines.size))
+                view.counter("hits").add(hit_count)
+            tracer = obs.tracer()
+            if tracer.enabled and lines.size:
+                track = f"sim.cache.{self.name}"
+                misses = int(lines.size) - hit_count
+                if misses:
+                    tracer.instant(track, "misses", args={"count": misses})
+                tracer.sample(track, "hit_rate",
+                              hit_count / int(lines.size))
         return hits
 
     def contains_line(self, line: int) -> bool:

@@ -218,6 +218,20 @@ class IntervalCoreModel:
             view.histogram("cycles.total").record(total)
             view.gauge("mlp").set(mlp)
 
+        tracer = obs.tracer()
+        if tracer.enabled:
+            # Lay the Fig. 11 phases out sequentially on the sim clock
+            # (cycle-denominated spans the stall report folds).
+            t = tracer.alloc(int(round(total)))
+            for phase, cycles in (("committing", committing),
+                                  ("frontend", frontend),
+                                  ("backend", backend)):
+                d = int(round(cycles))
+                tracer.span("sim.core", phase, t, d)
+                t += d
+            tracer.instant("sim.core", "run_done", args={
+                "total": total, "mlp": mlp})
+
         return CycleBreakdown(
             committing=committing,
             frontend=frontend,

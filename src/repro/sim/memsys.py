@@ -173,9 +173,19 @@ class MemoryHierarchy:
         """Walk all streams of a kernel trace (in declaration order)."""
         self.reset()
         profile = AccessProfile(line_bytes=self.machine.l1d.line_bytes)
+        tracer = obs.tracer()
         with obs.timer("sim.memsys.profile"):
             for stream in trace.streams:
-                profile.streams.append(self.profile_stream(stream))
+                sp = self.profile_stream(stream)
+                profile.streams.append(sp)
+                if tracer.enabled:
+                    start = tracer.alloc(sp.accesses)
+                    tracer.span("sim.memsys", sp.label or "stream", start,
+                                sp.accesses, {
+                                    "accesses": sp.accesses,
+                                    "l1_hits": sp.l1_hits,
+                                    "mem_lines": sp.mem_accesses,
+                                })
         if obs.enabled():
             view = obs.active().prefixed("sim.memsys")
             view.counter("profiles").add()

@@ -38,12 +38,16 @@ class StreamRequestLog:
     last_line: int = -1
     lines: list[int] = field(default_factory=list)
 
-    def record(self, address: int) -> None:
+    def record(self, address: int) -> bool:
+        """Log one element touch; True when it opened a new line
+        request (an arbiter grant)."""
         self.touches += 1
         line = address // LINE_BYTES
         if line != self.last_line:
             self.lines.append(line)
             self.last_line = line
+            return True
+        return False
 
 
 class MemoryArbiter:
@@ -52,6 +56,7 @@ class MemoryArbiter:
     def __init__(self) -> None:
         self._logs: dict[Stream, StreamRequestLog] = {}
         self._observed: dict[str, int] = {}  # telemetry deltas
+        self.tracer = None  # set by the engine while tracing is on
 
     def register(self, tu: TraversalUnit, stream: Stream) -> None:
         if stream in self._logs:
@@ -69,7 +74,13 @@ class MemoryArbiter:
         if log is None:
             self.register(tu, stream)
             log = self._logs[stream]
-        log.record(address)
+        granted = log.record(address)
+        if granted and self.tracer is not None:
+            self.tracer.instant("tmu.arbiter", "grant", args={
+                "stream": log.label,
+                "layer": log.layer,
+                "lane": log.lane,
+            })
 
     # -- reporting ----------------------------------------------------
 

@@ -98,6 +98,9 @@ class TmuEngine:
         ]
         self._handlers: dict[str, Handler] = {}
         self._default_handler: Handler | None = None
+        self._tracer = obs.NULL_TRACER
+        self._tracing = False
+        self._trace_run_start = 0
 
     # -- hooks -----------------------------------------------------------
 
@@ -187,6 +190,14 @@ class TmuEngine:
             layer_activations=[0] * len(self.groups),
             queue_sizing=self.sizing,
         )
+        # One virtual-clock tick per TG gite step; components hold the
+        # tracer (or None) so dormant hooks cost one attribute read.
+        tracer = obs.tracer()
+        self._tracer = tracer
+        self._tracing = tracer.enabled
+        self._trace_run_start = tracer.now
+        self.arbiter.tracer = tracer if self._tracing else None
+        self.outq.tracer = tracer if self._tracing else None
         root_envs = [dict() for _ in range(self.program.lanes)]
         self._run_layer(0, None, None, root_envs)
 
@@ -202,9 +213,46 @@ class TmuEngine:
         stats.memory_touches = self.arbiter.total_touches
         stats.memory_lines = self.arbiter.total_line_requests
         stats.memory_bytes = self.arbiter.total_bytes()
+        if self._tracing:
+            self._trace_summaries(stats)
         if obs.enabled():
             self.publish_telemetry()
         return stats
+
+    def _trace_summaries(self, stats: RunStats) -> None:
+        """Emit end-of-run summary spans whose args come from the same
+        counters as :class:`RunStats` — the stall report folds these, so
+        its engine totals agree with the returned stats by construction
+        (and, being last into the ring buffer, they survive capacity
+        pressure)."""
+        tracer = self._tracer
+        start = self._trace_run_start
+        dur = tracer.now - start
+        for idx, group in enumerate(self.groups):
+            stall = max(0, group.merge_steps - group.gite_count)
+            tracer.span(f"tmu.tg.layer{idx}", "layer_summary", start, dur, {
+                "layer": idx,
+                "lanes": group.num_lanes,
+                "activations": stats.layer_activations[idx],
+                "iterations": stats.layer_iterations[idx],
+                "merge_steps": stats.layer_merge_steps[idx],
+                "stall_advances": stall,
+            })
+        tracer.span("tmu.arbiter", "summary", start, dur, {
+            "touches": stats.memory_touches,
+            "lines": stats.memory_lines,
+            "bytes": stats.memory_bytes,
+        })
+        tracer.span("tmu.outq", "summary", start, dur, {
+            "records": stats.outq_records,
+            "bytes": stats.outq_bytes,
+            "chunks": stats.outq_chunks,
+        })
+        tracer.span("tmu.engine", "run", start, dur, {
+            "iterations": stats.total_iterations,
+            "records": stats.outq_records,
+            "memory_lines": stats.memory_lines,
+        })
 
     def publish_telemetry(self) -> None:
         """Push this run's per-component event counts into the active
@@ -298,8 +346,17 @@ class TmuEngine:
         for cb in layer.callbacks_for(Event.GBEG):
             self._fire(cb, layer_idx, None, envs, mask)
 
+        tracing = self._tracing
+        if tracing:
+            tracer = self._tracer
+            track = f"tmu.tg.layer{layer_idx}"
+            t0 = tracer.now
+
         last = layer_idx == len(self.program.layers) - 1
         for step in group.iterate(mask, engine=self):
+            if tracing:
+                tracer.tick()
+                tracer.instant(track, "gite", args={"mask": step.mask})
             for cb in layer.callbacks_for(Event.GITE):
                 self._fire(cb, layer_idx, step, envs, mask)
             if not last:
@@ -307,6 +364,9 @@ class TmuEngine:
 
         for cb in layer.callbacks_for(Event.GEND):
             self._fire(cb, layer_idx, None, envs, mask)
+
+        if tracing:
+            tracer.span(track, "activation", t0, tracer.now - t0)
 
     # -- exported traces ------------------------------------------------------
 

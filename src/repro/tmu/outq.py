@@ -65,6 +65,7 @@ class OutQueue:
         self.max_chunk_fill = 0  # high-water mark of the filling chunk
         self.records_pushed = 0  # monotonic (records may be drained)
         self._observed: dict[str, int] = {}  # telemetry deltas
+        self.tracer = None  # set by the engine while tracing is on
 
     def push(self, record: OutQueueRecord) -> None:
         size = record.nbytes()
@@ -76,9 +77,15 @@ class OutQueue:
         if self._current_chunk_fill > self.max_chunk_fill:
             self.max_chunk_fill = min(self._current_chunk_fill,
                                       self.chunk_bytes)
+        tracer = self.tracer
         while self._current_chunk_fill >= self.chunk_bytes:
             self._current_chunk_fill -= self.chunk_bytes
             self.chunks_completed += 1
+            if tracer is not None:
+                tracer.instant("tmu.outq", "chunk_complete",
+                               args={"bytes": self.chunk_bytes})
+        if tracer is not None:
+            tracer.sample("tmu.outq", "chunk_fill", self._current_chunk_fill)
 
     @property
     def num_records(self) -> int:

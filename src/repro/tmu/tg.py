@@ -24,6 +24,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
+from .. import obs
 from ..errors import TMUConfigError, TMURuntimeError
 from .tu import Slot, TraversalUnit
 
@@ -254,6 +255,9 @@ class TraversalGroup:
         full = 0
         for k in lanes:
             full |= 1 << k
+        tracer = obs.tracer()
+        tracing = tracer.enabled
+        track = f"tmu.tg.layer{self.layer}" if tracing else ""
         while True:
             heads: dict[int, Slot] = {}
             for k in lanes:
@@ -272,4 +276,7 @@ class TraversalGroup:
             if mask == full:
                 self.gite_count += 1
                 yield GroupStep(mask=mask, index=current, slots=slots)
-            # non-emitting advance: hardware pushes no token
+            elif tracing:
+                # non-emitting advance: hardware pushes no token — this
+                # is the conjunctive merge's stall signal
+                tracer.instant(track, "stall_advance", args={"mask": mask})

@@ -24,6 +24,7 @@ import enum
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
+from .. import obs
 from ..errors import TMUConfigError, TMURuntimeError
 from .streams import (
     FwdStream,
@@ -101,6 +102,9 @@ class TraversalUnit:
         self.fiber_count = 0
         self.control_tokens: int = 0  # total tokens emitted (0s and 1s)
         self._observed: dict[str, int] = {}  # telemetry deltas
+        self._trace_track = f"tmu.tu.layer{layer}.lane{lane}"
+        self._trace_t0: int | None = None  # fiber start (virtual ticks)
+        self._trace_it0 = 0
 
     # -- configuration -------------------------------------------------
 
@@ -195,6 +199,12 @@ class TraversalUnit:
         self._fwd_values = fwd_values or {}
         self.state = TuState.FITE
         self.fiber_count += 1
+        tracer = obs.tracer()
+        if tracer.enabled:
+            self._trace_t0 = tracer.now
+            self._trace_it0 = self.iterations
+        else:
+            self._trace_t0 = None
 
     def resolve_bounds(self, parent_slot: Slot | None) -> tuple[int, int]:
         """Compute (beg, end) for a new activation given the parent
@@ -225,6 +235,14 @@ class TraversalUnit:
         if not forward:
             self.state = TuState.FEND
             self.control_tokens += 1  # the `1` end token
+            if self._trace_t0 is not None:
+                tracer = obs.tracer()
+                fiber_len = self.iterations - self._trace_it0
+                tracer.span(self._trace_track, "fiber", self._trace_t0,
+                            tracer.now - self._trace_t0,
+                            {"iterations": fiber_len})
+                tracer.sample(self._trace_track, "fiber_len", fiber_len)
+                self._trace_t0 = None
             return None
         values: dict[Stream, object] = {}
         for stream in self.streams:

@@ -26,6 +26,7 @@ def test_every_example_is_covered():
         "roofline_report.py",
         "einsum_compiler.py",
         "outq_pipeline.py",
+        "trace_spmv.py",
     }
 
 

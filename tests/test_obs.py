@@ -314,3 +314,108 @@ class TestEngineIntegration:
         records = "tmu.outq.records"
         assert first.as_dict()["counters"][records] == stats.outq_records
         assert second.as_dict()["counters"][records] == stats.outq_records
+
+
+class TestTimerSafety:
+    """The timer context manager must survive exceptions and nesting."""
+
+    def test_exception_in_body_still_observes(self):
+        reg = Registry()
+        t = reg.timer("work")
+        with pytest.raises(RuntimeError):
+            with t:
+                raise RuntimeError("boom")
+        assert t.as_dict()["count"] == 1
+
+    def test_reentrant_nesting_observes_both_levels(self):
+        reg = Registry()
+        t = reg.timer("work")
+        with t:
+            with t:
+                pass
+        d = t.as_dict()
+        assert d["count"] == 2
+        # the outer interval contains the inner one
+        assert d["max_s"] >= d["min_s"]
+
+    def test_exit_without_enter_is_harmless(self):
+        reg = Registry()
+        t = reg.timer("work")
+        t.__exit__(None, None, None)
+        assert t.as_dict()["count"] == 0
+
+
+class TestHistogramQuantile:
+    def test_empty_histogram_is_zero(self):
+        assert Histogram("h").quantile(0.5) == 0.0
+
+    def test_q_out_of_range_raises(self):
+        h = Histogram("h")
+        h.record(1)
+        with pytest.raises(ValueError, match="quantile"):
+            h.quantile(1.5)
+
+    def test_single_bucket_clamps_to_the_exact_envelope(self):
+        h = Histogram("h")
+        for _ in range(3):
+            h.record(5)
+        # bucket 3 spans (4, 8]; min == max == 5 pins every quantile
+        for q in (0.0, 0.25, 0.5, 0.99, 1.0):
+            assert h.quantile(q) == 5.0
+
+    def test_quantiles_are_monotone_and_bounded(self):
+        h = Histogram("h")
+        for v in (0.5, 1, 2, 3, 8, 100, 1000):
+            h.record(v)
+        qs = [h.quantile(q) for q in (0.1, 0.25, 0.5, 0.75, 0.95, 1.0)]
+        assert qs == sorted(qs)
+        assert all(0.5 <= v <= 1000 for v in qs)
+        assert h.quantile(1.0) == 1000
+
+    def test_mean_stays_exact(self):
+        h = Histogram("h")
+        for v in (1, 2, 3):
+            h.record(v)
+        assert h.mean == pytest.approx(2.0)
+
+
+class TestBenchRev:
+    """BENCH_<rev> naming: unknown fallback and the -dirty suffix."""
+
+    def _fake_git(self, monkeypatch, *, rev="abc1234", status=""):
+        import importlib
+        import subprocess as sp
+
+        # the package re-exports a snapshot() function that shadows the
+        # submodule attribute, so resolve the module itself
+        snapmod = importlib.import_module("repro.obs.snapshot")
+
+        def fake_run(cmd, **kwargs):
+            if rev is None:
+                raise OSError("git not found")
+            out = rev + "\n" if "rev-parse" in cmd else status
+            return sp.CompletedProcess(cmd, 0, stdout=out, stderr="")
+
+        monkeypatch.setattr(snapmod.subprocess, "run", fake_run)
+
+    def test_clean_tree_uses_the_short_rev(self, monkeypatch):
+        self._fake_git(monkeypatch)
+        assert obs.bench_rev() == "abc1234"
+        assert not obs.worktree_dirty()
+
+    def test_dirty_tree_gets_the_suffix(self, monkeypatch):
+        self._fake_git(monkeypatch, status=" M src/repro/cli.py\n")
+        assert obs.worktree_dirty()
+        assert obs.bench_rev() == "abc1234-dirty"
+
+    def test_no_git_falls_back_to_unknown(self, monkeypatch):
+        self._fake_git(monkeypatch, rev=None)
+        assert obs.bench_rev() == "unknown"
+        assert not obs.worktree_dirty()
+
+    def test_bench_snapshot_filename_uses_fallback(self, monkeypatch, tmp_path):
+        self._fake_git(monkeypatch, rev=None)
+        snap = make_snapshot(Registry())
+        snap["meta"].pop("rev", None)
+        path = write_bench_snapshot(snap, tmp_path)
+        assert path.name == "BENCH_unknown.json"

@@ -1,0 +1,160 @@
+"""Tests for the trace consumers: Perfetto export and the stall report.
+
+The golden test records a real (tiny) SpMV run through the TMU engine
+under ``obs.trace_capture`` and checks the full pipeline the CLI wires
+together: record → ``repro.trace/1`` file → Perfetto JSON → stall
+report, with the engine-summary totals agreeing with ``RunStats``.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.formats.csr import CsrMatrix
+from repro.obs.export import (
+    CORE_PHASES,
+    fold_trace,
+    stall_report,
+    to_perfetto,
+    write_perfetto,
+)
+from repro.programs.spmv import build_spmv_program
+from repro.tmu.engine import TmuEngine
+
+
+@pytest.fixture(autouse=True)
+def _tracing_off():
+    obs.disable_tracing()
+    yield
+    obs.disable_tracing()
+
+
+@pytest.fixture(scope="module")
+def spmv_run():
+    """One traced SpMV run shared by the golden tests."""
+    obs.disable_tracing()
+    a = CsrMatrix.from_dense(np.array([[1.0, 0, 2], [0, 3, 0], [4, 0, 5]]))
+    built = build_spmv_program(a, np.ones(3))
+    with obs.trace_capture() as tracer:
+        stats = TmuEngine(built.program).run(built.handlers)
+        trace = obs.trace_snapshot(meta={"experiments": "spmv-golden"})
+    np.testing.assert_allclose(built.result(), [3.0, 3.0, 9.0])
+    return trace, stats, tracer
+
+
+class TestPerfetto:
+    def test_schema_valid_and_loadable(self, spmv_run):
+        trace, _, _ = spmv_run
+        obs.validate_trace(trace)
+        doc = to_perfetto(trace)
+        assert isinstance(doc["traceEvents"], list)
+        assert doc["otherData"]["experiments"] == "spmv-golden"
+        # Chrome-trace JSON must round-trip
+        assert json.loads(json.dumps(doc)) == doc
+
+    def test_process_and_thread_metadata(self, spmv_run):
+        trace, _, _ = spmv_run
+        events = to_perfetto(trace)["traceEvents"]
+        procs = {
+            e["pid"]: e["args"]["name"]
+            for e in events
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert procs[1] == "tmu (ticks)"
+        threads = {
+            e["args"]["name"]: (e["pid"], e["tid"])
+            for e in events
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        # one swim lane per instrumented component, all under the tmu pid
+        assert "tmu.engine" in threads
+        assert any(t.startswith("tmu.tg.layer") for t in threads)
+        assert any(t.startswith("tmu.tu.layer") for t in threads)
+        assert all(pid == 1 for pid, _ in threads.values())
+        tids = [tid for _, tid in threads.values()]
+        assert len(set(tids)) == len(tids)
+
+    def test_event_phase_shapes(self, spmv_run):
+        trace, _, _ = spmv_run
+        events = to_perfetto(trace)["traceEvents"]
+        xs = [e for e in events if e["ph"] == "X"]
+        instants = [e for e in events if e["ph"] == "i"]
+        counters = [e for e in events if e["ph"] == "C"]
+        assert xs and instants and counters
+        assert all("dur" in e for e in xs)
+        assert all(e["s"] == "t" for e in instants)
+        assert all(e["args"]["value"] is not None for e in counters)
+
+    def test_write_perfetto(self, spmv_run, tmp_path):
+        trace, _, _ = spmv_run
+        path = write_perfetto(trace, tmp_path / "out" / "spmv.perfetto.json")
+        doc = json.loads(path.read_text())
+        assert doc["traceEvents"]
+
+
+class TestFold:
+    def test_summaries_match_run_stats(self, spmv_run):
+        trace, stats, _ = spmv_run
+        folded = fold_trace(trace)
+        run = folded["summaries"][("tmu.engine", "run")]
+        assert run["iterations"] == stats.total_iterations
+        assert run["records"] == stats.outq_records
+        assert run["memory_lines"] == stats.memory_lines
+
+    def test_fiber_spans_are_not_treated_as_summaries(self, spmv_run):
+        trace, _, _ = spmv_run
+        folded = fold_trace(trace)
+        names = {n for (_, n) in folded["summaries"]}
+        assert names <= {"layer_summary", "summary", "run"}
+        assert any(n == "fiber" for (_, n) in folded["durations"])
+
+    def test_core_phases_sum_spans(self):
+        trace = obs.make_trace(obs.Tracer())
+        trace["events"] = [
+            [0, 60, "X", "sim.core", "committing", None],
+            [60, 30, "X", "sim.core", "frontend", None],
+            [90, 10, "X", "sim.core", "backend", None],
+            [100, 60, "X", "sim.core", "committing", None],
+        ]
+        folded = fold_trace(trace)
+        assert folded["core_phases"] == {
+            "committing": 120.0,
+            "frontend": 30.0,
+            "backend": 10.0,
+        }
+        assert set(folded["core_phases"]) == set(CORE_PHASES)
+
+
+class TestStallReport:
+    def test_sections_present(self, spmv_run):
+        trace, stats, _ = spmv_run
+        text = stall_report(trace)
+        assert "stall attribution · spmv-golden" in text
+        assert "TMU pipeline (per TG layer):" in text
+        assert f"iterations={stats.total_iterations}" in text
+        assert "memory arbiter:" in text
+        assert "outQ:" in text
+        assert "span durations (virtual ticks):" in text
+
+    def test_core_decomposition_section(self):
+        trace = obs.make_trace(obs.Tracer())
+        trace["events"] = [
+            [0, 75, "X", "sim.core", "committing", None],
+            [75, 25, "X", "sim.core", "backend", None],
+        ]
+        text = stall_report(trace)
+        assert "core cycle decomposition (Fig. 11):" in text
+        assert "75.0%" in text
+        assert "25.0%" in text
+
+    def test_report_stays_exact_under_sampling_and_drops(self):
+        a = CsrMatrix.from_dense(np.array([[1.0, 0, 2], [0, 3, 0], [4, 0, 5]]))
+        built = build_spmv_program(a, np.ones(3))
+        with obs.trace_capture(capacity=16, sample_every=4):
+            stats = TmuEngine(built.program).run(built.handlers)
+            trace = obs.trace_snapshot()
+        assert trace["dropped"] > 0
+        text = stall_report(trace)
+        assert f"iterations={stats.total_iterations}" in text
