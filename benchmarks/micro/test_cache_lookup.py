@@ -1,0 +1,57 @@
+"""Cache-lookup microbenches: FastCache vs the reference Cache.
+
+The gated streams mirror what the simulator actually feeds
+``lookup_lines``: long traversal streams (sequential/strided cold
+misses — the TMU's idx/vals arrays) and irregular gathers with reuse
+(the dependent B-row/x-vector accesses).  Equivalence is pinned by
+``tests/test_fastcache_equiv.py``; here only the speed ratio is gated.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import CacheConfig
+from repro.sim.cache import Cache
+from repro.sim.fastcache import FastCache
+
+N = 400_000
+
+
+def _run(cls, cfg: CacheConfig, lines: np.ndarray) -> None:
+    cache = cls(cfg)
+    cache.lookup_lines(lines)
+
+
+def _ratio(best_of, cfg: CacheConfig, lines: np.ndarray) -> float:
+    ref = best_of(lambda: _run(Cache, cfg, lines))
+    fast = best_of(lambda: _run(FastCache, cfg, lines))
+    return ref / fast
+
+
+class TestLookupLinesSpeedup:
+    def test_streaming_traversal(self, best_of, micro_baselines):
+        """Cold sequential + strided lines — the TMU's bread-and-butter
+        stream shape."""
+        cfg = CacheConfig(64 * 8 * 64, 8, 1, 4)
+        lines = np.concatenate([np.arange(N // 2),
+                                np.arange(N // 2) * 3 + 10_000_000])
+        ratio = _ratio(best_of, cfg, lines)
+        floor = micro_baselines["cache_lookup_streaming_min_ratio"]
+        assert ratio >= floor, (
+            f"streaming lookup_lines speedup regressed: {ratio:.2f}x < "
+            f"{floor}x")
+
+    def test_irregular_gather(self, best_of, micro_baselines):
+        """Random row gathers — random block starts over a footprint far
+        beyond capacity, consecutive lines within each block (the
+        dependent B-row accesses of spmspm)."""
+        cfg = CacheConfig(64 * 8 * 64, 8, 1, 4)
+        rng = np.random.default_rng(11)
+        starts = rng.integers(0, 50_000, N // 8) * 8
+        lines = (starts[:, None] + np.arange(8)[None, :]).ravel()
+        ratio = _ratio(best_of, cfg, lines)
+        floor = micro_baselines["cache_lookup_gather_min_ratio"]
+        assert ratio >= floor, (
+            f"gather lookup_lines speedup regressed: {ratio:.2f}x < "
+            f"{floor}x")

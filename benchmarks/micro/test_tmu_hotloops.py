@@ -1,0 +1,128 @@
+"""TMU hot-loop microbenches: batched vs per-touch arbiter recording,
+precompiled vs ladder operand marshaling.
+
+Both reference paths stay live in the tree (``MemoryArbiter
+.record_touch`` drives tracing; ``TmuEngine._resolve_operands`` covers
+direct fires outside ``run()``), so each gate compares two real code
+paths under identical load.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.generators import uniform_random_matrix
+from repro.programs import build_spmv_program
+from repro.tmu import TmuEngine
+from repro.tmu.arbiter import MemoryArbiter
+from repro.tmu.program import Event
+from repro.tmu.streams import MemStream, MemoryArray
+from repro.tmu.tu import PrimitiveKind, TraversalUnit
+
+
+class TestArbiterTouchBatching:
+    def test_record_touches_vs_per_touch(self, best_of, micro_baselines):
+        """One fiber's worth of sequential element touches, recorded in
+        one batch vs one call per touch."""
+        tu = TraversalUnit(0, 0, PrimitiveKind.DENSE, beg=0, end=10)
+        array = MemoryArray(np.zeros(8192), 8, 0, "a")
+        stream = MemStream(array, tu.ite, 0, "s")
+        addresses = list(range(0, 8 * 4096, 8))
+
+        def per_touch():
+            arb = MemoryArbiter()
+            for a in addresses:
+                arb.record_touch(tu, stream, a)
+
+        def batched():
+            arb = MemoryArbiter()
+            arb.record_touches(tu, stream, addresses)
+
+        ratio = best_of(per_touch, 7) / best_of(batched, 7)
+        floor = micro_baselines["arbiter_touch_batch_min_ratio"]
+        assert ratio >= floor, (
+            f"arbiter touch batching speedup regressed: {ratio:.2f}x < "
+            f"{floor}x")
+
+    def test_batch_equals_per_touch(self):
+        """Same grant stream either way (order and dedup included)."""
+        tu = TraversalUnit(0, 0, PrimitiveKind.DENSE, beg=0, end=10)
+        array = MemoryArray(np.zeros(8192), 8, 0, "a")
+        stream = MemStream(array, tu.ite, 0, "s")
+        rng = np.random.default_rng(5)
+        addresses = [int(a) for a in rng.integers(0, 4096, 500) * 8]
+        a1, a2 = MemoryArbiter(), MemoryArbiter()
+        for a in addresses:
+            a1.record_touch(tu, stream, a)
+        a2.record_touches(tu, stream, addresses)
+        l1, l2 = a1.priority_order()[0], a2.priority_order()[0]
+        assert l1.touches == l2.touches
+        assert l1.lines == l2.lines
+        assert l1.last_line == l2.last_line
+
+
+class TestOperandMarshal:
+    def test_compiled_resolver_vs_ladder(self, best_of, micro_baselines):
+        """Per-gite marshal cost: the precompiled (callback, resolver)
+        pairs vs the per-step ``callbacks_for`` + isinstance ladder the
+        engine used to run."""
+        matrix = uniform_random_matrix(30, 30, 4, seed=13)
+        vector = np.random.default_rng(3).random(matrix.num_cols)
+        built = build_spmv_program(matrix, vector, lanes=2)
+        engine = TmuEngine(built.program)
+
+        captured = {}
+        orig = engine._fire
+
+        def spy(cb, layer_idx, step, envs, mask, resolver=None):
+            if step is not None and cb.operands and not captured:
+                captured.update(layer=layer_idx, step=step, envs=envs,
+                                mask=mask)
+            orig(cb, layer_idx, step, envs, mask, resolver)
+
+        engine._fire = spy
+        engine.run(built.handlers)
+        layer = captured["layer"]
+        step, envs, mask = (captured[k] for k in ("step", "envs", "mask"))
+        first = (mask & -mask).bit_length() - 1
+        pairs = engine._layer_callbacks[layer][1]  # GITE
+        program_layer = engine.program.layers[layer]
+        reps = 30_000
+
+        def fast():
+            for _ in range(reps):
+                for _cb, res in pairs:
+                    res(step, envs, first)
+
+        def ladder():
+            for _ in range(reps):
+                for cb in program_layer.callbacks_for(Event.GITE):
+                    engine._resolve_operands(cb, layer, step, envs, mask)
+
+        ratio = best_of(ladder, 5) / best_of(fast, 5)
+        floor = micro_baselines["operand_marshal_min_ratio"]
+        assert ratio >= floor, (
+            f"operand marshal speedup regressed: {ratio:.2f}x < {floor}x")
+
+    def test_resolvers_match_ladder(self):
+        """Every compiled resolver returns exactly what the reference
+        ladder resolves, for every callback the program fires."""
+        matrix = uniform_random_matrix(30, 30, 4, seed=13)
+        vector = np.random.default_rng(3).random(matrix.num_cols)
+        built = build_spmv_program(matrix, vector, lanes=2)
+        engine = TmuEngine(built.program)
+        orig = engine._fire
+        checked = [0]
+
+        def check(cb, layer_idx, step, envs, mask, resolver=None):
+            compiled = engine._resolvers[(layer_idx, id(cb))](
+                step, envs, (mask & -mask).bit_length() - 1)
+            ladder = engine._resolve_operands(cb, layer_idx, step, envs,
+                                              mask)
+            assert compiled == ladder
+            checked[0] += 1
+            orig(cb, layer_idx, step, envs, mask, resolver)
+
+        engine._fire = check
+        engine.run(built.handlers)
+        assert checked[0] > 0

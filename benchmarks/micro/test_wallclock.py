@@ -1,0 +1,45 @@
+"""Informational absolute timings via pytest-benchmark.
+
+These are never gated — the ratio tests next door carry the
+regression-detection duty.  The whole module is skipped when the
+plugin is not installed (CI's tier-1 job, for instance).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+pytest.importorskip("pytest_benchmark")
+
+from repro.config import CacheConfig  # noqa: E402
+from repro.generators import uniform_random_matrix  # noqa: E402
+from repro.kernels import split_rows_cyclic  # noqa: E402
+from repro.programs import build_spkadd_program  # noqa: E402
+from repro.sim.cache import Cache  # noqa: E402
+from repro.sim.fastcache import FastCache  # noqa: E402
+from repro.tmu import TmuEngine  # noqa: E402
+
+CFG = CacheConfig(64 * 8 * 64, 8, 1, 4)
+LINES = np.arange(400_000)
+
+
+def test_bench_lookup_fast(benchmark):
+    benchmark.pedantic(lambda: FastCache(CFG).lookup_lines(LINES),
+                       rounds=3, iterations=1)
+
+
+def test_bench_lookup_reference(benchmark):
+    benchmark.pedantic(lambda: Cache(CFG).lookup_lines(LINES),
+                       rounds=3, iterations=1)
+
+
+def test_bench_engine_run_spkadd(benchmark):
+    matrix = uniform_random_matrix(60, 60, 6, seed=3)
+    parts = split_rows_cyclic(matrix, 4)
+
+    def run():
+        built = build_spkadd_program(parts)
+        TmuEngine(built.program).run(built.handlers)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)

@@ -42,6 +42,7 @@ import time
 from pathlib import Path
 
 from . import obs, runtime
+from .config import set_default_fast_cache
 from .errors import ReproError
 from .eval import experiments as ex
 from .runtime.manifest import RunManifest
@@ -125,6 +126,25 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="W1,W2",
         help="comma-separated workload filter for fig10/fig11/fig13/"
              "fig14 (e.g. spmv,spkadd)",
+    )
+    cache_model = parser.add_mutually_exclusive_group()
+    cache_model.add_argument(
+        "--fast",
+        dest="cache_model",
+        action="store_const",
+        const="fast",
+        default="fast",
+        help="simulate caches with the vectorized model (default)",
+    )
+    cache_model.add_argument(
+        "--reference",
+        dest="cache_model",
+        action="store_const",
+        const="reference",
+        help="simulate caches with the golden-reference model (slow; "
+             "bit-for-bit hit/miss-equivalent to --fast).  The choice "
+             "is part of each cell's content hash, so cached results "
+             "from the two models never collide",
     )
     parser.add_argument(
         "--timeout",
@@ -214,6 +234,9 @@ def _build_trace_parser() -> argparse.ArgumentParser:
                         help="keep every Nth instant/counter event")
     record.add_argument("--capacity", type=int, default=65536,
                         metavar="N", help="ring-buffer capacity")
+    record.add_argument("--reference", action="store_true",
+                        help="trace the golden-reference cache model "
+                             "instead of the vectorized one")
 
     export = sub.add_parser(
         "export", help="validate a trace and export Perfetto-loadable "
@@ -241,6 +264,8 @@ def _trace_main(argv: list[str]) -> int:
                          "--trace-capacity", str(args.capacity)]
             if args.workloads:
                 forwarded += ["--workloads", args.workloads]
+            if args.reference:
+                forwarded.append("--reference")
             return main(forwarded)
         trace = obs.load_trace(args.trace)
         if args.action == "export":
@@ -420,6 +445,10 @@ def main(argv: list[str] | None = None) -> int:
 
     names = sorted(_COMMANDS) if args.experiment == "all" else [
         args.experiment]
+    # Cache-model selection applies to every machine the drivers build;
+    # restored afterwards so embedded callers (tests, notebooks) see the
+    # default again.
+    set_default_fast_cache(args.cache_model != "reference")
     try:
         for name in names:
             rendered = _COMMANDS[name](args.scale, workloads)
@@ -433,6 +462,8 @@ def main(argv: list[str] | None = None) -> int:
         obs.disable()
         obs.disable_tracing()
         return 1
+    finally:
+        set_default_fast_cache(True)
 
     if args.telemetry is not None:
         snap = obs.snapshot(meta={
@@ -440,6 +471,7 @@ def main(argv: list[str] | None = None) -> int:
             "scale": args.scale,
             "jobs": args.jobs,
             "workloads": args.workloads or "all",
+            "cache_model": args.cache_model,
         })
         path = obs.write_snapshot(snap, args.telemetry)
         obs.disable()

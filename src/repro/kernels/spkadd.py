@@ -20,6 +20,7 @@ from ..formats.dcsr import DcsrMatrix
 from ..formats.coo import CooMatrix
 from ..sim.trace import AccessStream, AddressSpace, KernelTrace
 from ..types import INDEX_BYTES, VALUE_BYTES
+from .common import sorted_unique
 
 
 def split_rows_cyclic(a: CsrMatrix, k: int) -> list[DcsrMatrix]:
@@ -97,6 +98,30 @@ def spkadd(matrices: list[DcsrMatrix]) -> CsrMatrix:
     )
 
 
+def merged_output_points(matrices: list[DcsrMatrix]) -> tuple[int, int]:
+    """(distinct output rows, distinct output points) of the K-way union.
+
+    One pass over all inputs at once: every stored element becomes a
+    packed ``(row << 32) | col`` key and the union sizes fall out of two
+    sorted-unique passes — replacing the per-row searchsorted/unique
+    loop that previously dominated SpKAdd model building.
+    """
+    row_parts, key_parts = [], []
+    for m in matrices:
+        ridx = np.asarray(m.row_idxs, dtype=np.int64)
+        row_parts.append(ridx)
+        if m.nnz:
+            per_row = np.diff(np.asarray(m.ptrs, dtype=np.int64))
+            rows = np.repeat(ridx, per_row)
+            key_parts.append((rows << 32) | np.asarray(m.idxs, np.int64))
+    if not row_parts:
+        return 0, 0
+    row_points = int(sorted_unique(np.concatenate(row_parts)).size)
+    nnz_out = int(sorted_unique(np.concatenate(key_parts)).size
+                  ) if key_parts else 0
+    return row_points, nnz_out
+
+
 def characterize_spkadd(matrices: list[DcsrMatrix],
                         machine: MachineConfig) -> KernelTrace:
     """Characterize the software K-way merge baseline.
@@ -113,15 +138,7 @@ def characterize_spkadd(matrices: list[DcsrMatrix],
     log_k = max(1, int(np.ceil(np.log2(max(2, k)))))
 
     # Output nnz: distinct columns per output row across inputs.
-    nnz_out = 0
-    for i in range(rows):
-        cols = []
-        for m in matrices:
-            pos = np.searchsorted(m.row_idxs, i)
-            if pos < m.num_nonempty_rows and m.row_idxs[pos] == i:
-                cols.append(m.idxs[m.ptrs[pos]:m.ptrs[pos + 1]])
-        if cols:
-            nnz_out += np.unique(np.concatenate(cols)).size
+    _row_points, nnz_out = merged_output_points(matrices)
 
     space = AddressSpace()
     streams: list[AccessStream] = []

@@ -16,7 +16,7 @@ from ..errors import WorkloadError
 from ..formats.csr import CsrMatrix
 from ..sim.trace import AccessStream, AddressSpace, KernelTrace
 from ..types import INDEX_BYTES, VALUE_BYTES
-from .common import CsrOperand, sve_lanes
+from .common import CsrOperand, sorted_unique, sve_lanes
 
 
 def spmspm_symbolic(a: CsrMatrix, b: CsrMatrix) -> np.ndarray:
@@ -49,13 +49,23 @@ def _symbolic_counts_fast(a: CsrMatrix, b: CsrMatrix) -> np.ndarray:
     cached = _SYMBOLIC_MEMO.get(key)
     if cached is not None:
         return cached
-    counts = np.zeros(a.num_rows, dtype=np.int64)
-    for i in range(a.num_rows):
-        ks = a.idxs[a.ptrs[i]:a.ptrs[i + 1]]
-        if ks.size == 0:
-            continue
-        cols = [b.idxs[b.ptrs[k]:b.ptrs[k + 1]] for k in ks]
-        counts[i] = np.unique(np.concatenate(cols)).size
+    # Expand every (A row i, B row k) pairing into packed
+    # ``i << 32 | col`` keys and take one global unique — the per-row
+    # distinct-column counts drop out of the keys' high halves.
+    # Requires B column indexes < 2**32 (far beyond simulated inputs).
+    row_of = np.repeat(np.arange(a.num_rows, dtype=np.int64),
+                       np.diff(a.ptrs))
+    blk = np.diff(b.ptrs)[a.idxs]
+    total = int(blk.sum())
+    if total == 0:
+        counts = np.zeros(a.num_rows, dtype=np.int64)
+    else:
+        i_rep = np.repeat(row_of, blk)
+        offsets = np.arange(total) - np.repeat(np.cumsum(blk) - blk, blk)
+        cols = b.idxs[np.repeat(b.ptrs[a.idxs], blk) + offsets]
+        uniq = sorted_unique((i_rep << 32) | cols)
+        counts = np.bincount(uniq >> 32,
+                             minlength=a.num_rows).astype(np.int64)
     _SYMBOLIC_MEMO[key] = counts
     return counts
 

@@ -33,24 +33,36 @@ def lower_triangle(a: CsrMatrix) -> CsrMatrix:
 
 def triangle_count(l: CsrMatrix) -> int:
     """Count triangles of the graph whose lower-triangular adjacency is
-    ``l`` (each triangle counted once)."""
+    ``l`` (each triangle counted once).
+
+    Vectorized wedge closure: a triangle is an edge (i, j) plus a common
+    neighbour k, i.e. a wedge i-j-k whose closing pair (i, k) is itself
+    an edge.  Materialize every wedge's closing pair as a packed
+    ``i << 32 | k`` key and count the ones present in the edge-key set —
+    one searchsorted instead of an intersect1d per edge.  Requires
+    column indexes < 2**32 (far beyond any simulated input).
+    """
     if l.num_rows != l.num_cols:
         raise WorkloadError("triangle_count needs a square matrix")
-    total = 0
-    for i in range(l.num_rows):
-        beg, end = l.row_slice(i)
-        row_i = l.idxs[beg:end]
-        if row_i.size == 0:
-            continue
-        for p in range(beg, end):
-            j = int(l.idxs[p])
-            jb, je = l.row_slice(j)
-            row_j = l.idxs[jb:je]
-            if row_j.size:
-                total += int(
-                    np.intersect1d(row_i, row_j, assume_unique=True).size
-                )
-    return total
+    if l.nnz == 0:
+        return 0
+    row_nnz = np.diff(l.ptrs)
+    row_of = np.repeat(np.arange(l.num_rows, dtype=np.int64), row_nnz)
+    edge_keys = np.sort((row_of << 32) | l.idxs)
+    # Per edge p = (i, j): expand row j's neighbour list.
+    j = l.idxs
+    counts = row_nnz[j]
+    total = int(counts.sum())
+    if total == 0:
+        return 0
+    i_rep = np.repeat(row_of, counts)
+    offsets = np.arange(total) - np.repeat(np.cumsum(counts) - counts,
+                                           counts)
+    k = l.idxs[np.repeat(l.ptrs[j], counts) + offsets]
+    wedge_keys = (i_rep << 32) | k
+    pos = np.searchsorted(edge_keys, wedge_keys)
+    pos[pos == edge_keys.size] = 0
+    return int(np.count_nonzero(edge_keys[pos] == wedge_keys))
 
 
 def characterize_triangle(l: CsrMatrix,

@@ -15,6 +15,7 @@ import numpy as np
 from ..config import MachineConfig
 from ..errors import WorkloadError
 from ..formats.dcsr import DcsrMatrix
+from ..kernels.spkadd import merged_output_points
 from ..sim.machine import TmuWorkloadModel
 from ..sim.trace import AccessStream, AddressSpace, KernelTrace
 from ..tmu.program import Event, LayerMode, Program
@@ -131,20 +132,8 @@ def spkadd_timing_model(matrices: list[DcsrMatrix],
     total_rows = sum(m.num_nonempty_rows for m in matrices)
     rows = matrices[0].num_rows if matrices else 0
 
-    # Merged output points per row (union sizes), vectorized per input.
-    nnz_out = 0
-    row_points = 0
-    all_rows = np.unique(np.concatenate([m.row_idxs for m in matrices])
-                         ) if matrices else np.zeros(0, np.int64)
-    row_points = int(all_rows.size)
-    for i in all_rows:
-        cols = []
-        for m in matrices:
-            pos = np.searchsorted(m.row_idxs, i)
-            if pos < m.num_nonempty_rows and m.row_idxs[pos] == i:
-                cols.append(m.idxs[m.ptrs[pos]:m.ptrs[pos + 1]])
-        if cols:
-            nnz_out += int(np.unique(np.concatenate(cols)).size)
+    # Merged output points (union sizes), one vectorized pass.
+    row_points, nnz_out = merged_output_points(matrices)
 
     space = AddressSpace()
     streams: list[AccessStream] = []

@@ -131,9 +131,13 @@ class Runtime:
         starting the attempt counter at ``first_attempt``."""
         start = time.perf_counter()
         attempt = first_attempt
+        # Pin the machine before evaluating so the cell runs exactly the
+        # configuration its hash was computed from, regardless of any
+        # process-wide config defaults (cache-model selection).
+        pinned = task.resolved()
         while True:
             try:
-                record = _evaluate_task(task)
+                record = _evaluate_task(pinned)
                 return TaskOutcome(task, record, cached=False,
                                    wall_time=time.perf_counter() - start,
                                    attempts=attempt)
@@ -172,7 +176,11 @@ class Runtime:
         to_retry: list[int] = []
         with pool:
             try:
-                futures = [(i, pool.submit(_evaluate_task, t,
+                # Workers get the machine pinned (resolved in *this*
+                # process): pool processes do not share the parent's
+                # config defaults, so an unpinned task could resolve to
+                # a different machine than the one its hash names.
+                futures = [(i, pool.submit(_evaluate_task, t.resolved(),
                                            obs.enabled(),
                                            obs.tracing_enabled()))
                            for i, t in enumerate(tasks)]
@@ -311,10 +319,16 @@ class Runtime:
             view.counter("cells_cached").add(len(ordered) - len(misses))
             view.counter("cells_simulated").add(simulated)
             view.counter("cells_failed").add(len(fresh) - simulated)
-            view.timer("batch").observe(manifest.wall_time)
-            if simulated and manifest.wall_time > 0:
-                view.gauge("cells_per_sec").set(
-                    simulated / manifest.wall_time)
+            timer = view.timer("batch")
+            timer.observe(manifest.wall_time)
+            # Session-cumulative rate: totals accumulate in the shared
+            # registry, so the gauge stays comparable across sessions
+            # regardless of how many batches ran or in what order (a
+            # per-batch rate would let whichever batch happened to run
+            # last define the snapshot headline).
+            sim_total = view.counter("cells_simulated").value
+            if sim_total and timer.total > 0:
+                view.gauge("cells_per_sec").set(sim_total / timer.total)
         self.last_manifest = manifest
         self.manifests.append(manifest)
         report = RunReport(

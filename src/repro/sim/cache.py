@@ -37,6 +37,54 @@ class CacheStats:
         self.hits += other.hits
 
 
+class _CacheTelemetry:
+    """Per-instance cache of the telemetry handles used on every call.
+
+    ``obs.active()`` / ``obs.tracer()`` involve module-global lookups
+    and a prefixed-view allocation per call; ``lookup_lines`` instead
+    keeps the resolved handles here and refreshes them only when the
+    process-wide registry or tracer identity changes (the same hoisting
+    pattern :mod:`repro.tmu.engine` uses).  With telemetry disabled the
+    per-call cost is two attribute reads and two identity compares.
+    """
+
+    __slots__ = ("registry", "accesses", "hits", "tracer")
+
+    def __init__(self) -> None:
+        self.registry = None
+        self.accesses = None
+        self.hits = None
+        self.tracer = obs.NULL_TRACER
+
+    def refresh(self, name: str):
+        registry = obs.active()
+        if registry is not self.registry:
+            self.registry = registry
+            if registry is not None and name:
+                view = registry.prefixed(f"sim.cache.{name}")
+                self.accesses = view.counter("accesses")
+                self.hits = view.counter("hits")
+            else:
+                self.accesses = None
+                self.hits = None
+        self.tracer = obs.tracer()
+        return self
+
+
+def _publish(tele: _CacheTelemetry, name: str, n: int, hit_count: int) -> None:
+    """Publish one lookup_lines call's counters/trace events."""
+    if tele.accesses is not None:
+        tele.accesses.add(n)
+        tele.hits.add(hit_count)
+    tracer = tele.tracer
+    if tracer.enabled and n:
+        track = f"sim.cache.{name}"
+        misses = n - hit_count
+        if misses:
+            tracer.instant(track, "misses", args={"count": misses})
+        tracer.sample(track, "hit_rate", hit_count / n)
+
+
 class Cache:
     """One set-associative, LRU, write-allocate cache level.
 
@@ -59,6 +107,7 @@ class Cache:
         # Per-set list of tags in LRU order (index 0 = LRU).
         self._sets: list[list[int]] = [[] for _ in range(self.num_sets)]
         self.stats = CacheStats()
+        self._tele = _CacheTelemetry()
 
     def reset(self) -> None:
         self._sets = [[] for _ in range(self.num_sets)]
@@ -89,18 +138,8 @@ class Cache:
         self.stats.accesses += lines.size
         self.stats.hits += hit_count
         if self.name:
-            if obs.enabled():
-                view = obs.active().prefixed(f"sim.cache.{self.name}")
-                view.counter("accesses").add(int(lines.size))
-                view.counter("hits").add(hit_count)
-            tracer = obs.tracer()
-            if tracer.enabled and lines.size:
-                track = f"sim.cache.{self.name}"
-                misses = int(lines.size) - hit_count
-                if misses:
-                    tracer.instant(track, "misses", args={"count": misses})
-                tracer.sample(track, "hit_rate",
-                              hit_count / int(lines.size))
+            _publish(self._tele.refresh(self.name), self.name,
+                     int(lines.size), hit_count)
         return hits
 
     def contains_line(self, line: int) -> bool:

@@ -1,0 +1,275 @@
+"""NumPy-vectorized set-associative LRU cache model.
+
+:class:`FastCache` is a drop-in replacement for :class:`~repro.sim.cache.Cache`
+that classifies an ordered line stream into hits and misses without a
+per-access Python loop.  It is *bit-for-bit equivalent* to the reference
+model (same hit masks, same :class:`CacheStats`, same end state); the
+reference stays in the tree as the golden model and a seeded fuzz suite
+(``tests/test_fastcache_equiv.py``) holds the two to identical answers
+on adversarial streams.
+
+How it works
+------------
+
+Cache state is a per-set tag matrix in LRU→MRU order plus an occupancy
+vector.  Each batch of accesses is processed set-at-a-time using the
+classic LRU *stack distance* theorem: an access hits iff its line was
+seen before and fewer than ``ways`` distinct lines of the same set were
+touched since (install-on-miss LRU obeys the inclusion property, so the
+stack distance alone decides hit/miss).
+
+Per batch the model:
+
+1. prepends a *prologue* — the resident lines of every touched set, in
+   LRU→MRU order, as virtual accesses — so state composes exactly
+   across batches and across the chunked windows used by
+   :mod:`repro.sim.memsys`;
+2. groups accesses by set with a stable radix argsort (same line ⇒ same
+   set, so each line's occurrences stay inside one contiguous segment);
+3. computes previous/next-occurrence links (``f``/``nxt``) for every
+   access with one stable value argsort;
+4. screens: ``f < 0`` is a definite miss (the prologue contains every
+   resident line, so "never seen" ⇒ not resident); a positional reuse
+   distance ``k - f[k] <= ways`` is a definite hit (at most
+   ``ways - 1`` distinct lines fit in the gap).  On real workload
+   streams ~99% of accesses resolve here;
+5. resolves the remaining accesses with a lockstep bounded backward
+   scan that counts within-window last occurrences (``nxt[j] > k``,
+   i.e. distinct lines), stopping early at ``ways`` (miss) or at the
+   window start (hit), with an exact ``np.unique`` fallback for the
+   rare scan that exceeds the step budget;
+6. rebuilds the tag matrix from each set's most recent distinct lines
+   (after any access sequence, an LRU set holds exactly the ``ways``
+   most recently used distinct lines, in recency order).
+
+Telemetry matches the reference model call for call; the per-call
+registry/tracer lookups are cached on the instance and refreshed only
+when the process-wide switch changes (``_CacheTelemetry`` in
+:mod:`repro.sim.cache`, shared with the reference model).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import CacheConfig
+from ..errors import SimulationError
+from .cache import CacheStats, _CacheTelemetry, _publish
+
+#: Internal batch size; the prologue mechanism makes chunk boundaries
+#: exact, so this only bounds peak memory of the intermediate arrays.
+_CHUNK = 1 << 16
+
+#: Position bits reserved when packing (key, position) into one int64
+#: so a plain ``np.sort`` doubles as a stable argsort.  Must cover
+#: ``_CHUNK`` plus the worst-case prologue (num_sets × ways).
+_POS_BITS = 22
+_POS_MASK = (1 << _POS_BITS) - 1
+
+
+class FastCache:
+    """Vectorized set-associative, LRU, write-allocate cache level.
+
+    Same interface and observable behaviour as the reference
+    :class:`~repro.sim.cache.Cache`; selected via
+    ``MachineConfig.fast_cache`` (the default) or ``--fast`` on the CLI.
+    """
+
+    def __init__(self, config: CacheConfig, name: str = "") -> None:
+        self.config = config
+        self.name = name
+        self.num_sets = config.num_sets
+        self.ways = config.ways
+        if self.num_sets & (self.num_sets - 1):
+            raise SimulationError("cache set count must be a power of two")
+        self._set_mask = self.num_sets - 1
+        # Per-set resident tags, left-aligned in LRU→MRU order; -1 is
+        # the empty sentinel (line numbers are non-negative).
+        self._tags = np.full((self.num_sets, self.ways), -1, dtype=np.int64)
+        self._occ = np.zeros(self.num_sets, dtype=np.int64)
+        self.stats = CacheStats()
+        self._tele = _CacheTelemetry()
+
+    def reset(self) -> None:
+        # Reuse the tag matrix instead of reallocating (hot in the
+        # per-stream reset of the hierarchy walk).
+        self._tags.fill(-1)
+        self._occ.fill(0)
+        self.stats = CacheStats()
+
+    def lookup_lines(self, lines: np.ndarray) -> np.ndarray:
+        """Process line numbers in order; return a boolean hit mask."""
+        lines = np.asarray(lines, dtype=np.int64)
+        n = lines.size
+        if n == 0:
+            hits = np.zeros(0, dtype=bool)
+        elif n <= _CHUNK:
+            hits = self._process(lines)
+        else:
+            parts = [self._process(chunk)
+                     for chunk in np.array_split(lines, -(-n // _CHUNK))]
+            hits = np.concatenate(parts)
+        hit_count = int(hits.sum())
+        self.stats.accesses += n
+        self.stats.hits += hit_count
+        if self.name:
+            _publish(self._tele.refresh(self.name), self.name, n, hit_count)
+        return hits
+
+    def contains_line(self, line: int) -> bool:
+        row = self._tags[line & self._set_mask]
+        return bool((row == line).any())
+
+    @property
+    def mshrs(self) -> int:
+        return self.config.mshrs
+
+    # -- core batch step ------------------------------------------------
+
+    def _process(self, lines: np.ndarray) -> np.ndarray:
+        ways = self.ways
+        n = lines.size
+        sets = lines & self._set_mask
+
+        # Prologue: resident lines of every touched set, LRU→MRU.
+        touched = np.bincount(sets, minlength=self.num_sets)
+        us = np.flatnonzero(touched)
+        occ_us = self._occ[us]
+        prologue = int(occ_us.sum())
+        if prologue:
+            rows = self._tags[us]
+            pro_vals = rows[rows != -1]  # left-aligned ⇒ LRU→MRU per row
+            all_sets = np.concatenate([np.repeat(us, occ_us), sets])
+            all_vals = np.concatenate([pro_vals, lines])
+        else:
+            all_sets = sets
+            all_vals = lines
+        total = n + prologue
+
+        # Group by set, prologue first, batch accesses in program order
+        # within each set segment.  Packing (key << _POS_BITS) | position
+        # makes the keys unique, so a plain np.sort doubles as a stable
+        # argsort at a fraction of the cost.
+        pos = np.arange(total, dtype=np.int64)
+        order = np.sort((all_sets << _POS_BITS) | pos) & _POS_MASK
+        pv = all_vals[order]
+
+        # Previous/next occurrence of the same line (same line ⇒ same
+        # set, so the links never leave a set segment).
+        if int(pv.max()) < (1 << (62 - _POS_BITS)):
+            o2 = np.sort((pv << _POS_BITS) | pos) & _POS_MASK
+        else:  # astronomically large line numbers: plain stable argsort
+            o2 = np.argsort(pv, kind="stable")
+        sv = pv[o2]
+        same = sv[1:] == sv[:-1]
+        prev_idx = o2[:-1][same]
+        next_idx = o2[1:][same]
+        f = np.full(total, -1, dtype=np.int64)
+        f[next_idx] = prev_idx
+
+        # Screen: definite misses / definite hits by positional reuse
+        # distance; everything in between needs a distinct count.
+        gap = pos - f
+        seen = f >= 0
+        hit_packed = seen & (gap <= ways)
+        uncertain = seen & (gap > ways)
+        if prologue:
+            uncertain &= order >= prologue  # prologue hits are discarded
+        q = np.flatnonzero(uncertain)
+        if q.size * max(8, 2 * ways) > 2 * total:
+            # Many uncertain queries: two prefix-sum bounds on the
+            # window's distinct count retire most of them in O(total).
+            # Batch-first accesses (f == -1) inside the window are
+            # certainly distinct (lower bound ⇒ miss); everything but
+            # immediate repeats bounds the count from above (the +1
+            # covers a first-in-window immediate repeat at the window's
+            # first position).
+            p = f[q]
+            cum_first = np.empty(total + 1, dtype=np.int32)
+            cum_first[0] = 0
+            np.cumsum(f == -1, out=cum_first[1:])
+            missed = cum_first[q] - cum_first[p + 1] >= ways
+            cum_move = np.empty(total + 1, dtype=np.int32)
+            cum_move[0] = 0
+            np.cumsum(f != pos - 1, out=cum_move[1:])
+            hit2 = ~missed & (cum_move[q] - cum_move[p + 1] + 1 < ways)
+            hit_packed[q[hit2]] = True
+            q = q[~missed & ~hit2]
+        if q.size:
+            # The scan needs next-occurrence links; built lazily since
+            # most batches resolve entirely in the screens above.
+            nxt = np.full(total, total, dtype=np.int64)
+            nxt[prev_idx] = next_idx
+            hit_packed[q] = self._resolve(f, nxt, q, ways)
+
+        # Unpack batch positions to the caller's order.
+        hits = np.empty(n, dtype=bool)
+        if prologue:
+            batch = order >= prologue
+            hits[order[batch] - prologue] = hit_packed[batch]
+        else:
+            hits[order] = hit_packed
+
+        # New state: each touched set holds its `ways` most recently
+        # used distinct lines, in recency order.
+        is_last = np.ones(total, dtype=bool)
+        is_last[prev_idx] = False
+        lp = np.flatnonzero(is_last)
+        ls = all_sets[order[lp]]  # ascending: packed is grouped by set
+        cnt = np.bincount(ls, minlength=self.num_sets)
+        ends = np.cumsum(cnt)
+        idx_in_set = np.arange(lp.size, dtype=np.int64) - (ends[ls] - cnt[ls])
+        from_end = cnt[ls] - 1 - idx_in_set
+        keep = from_end < ways
+        new_occ = np.minimum(cnt, ways)
+        col = new_occ[ls] - 1 - from_end
+        self._tags[us] = -1
+        self._tags[ls[keep], col[keep]] = pv[lp[keep]]
+        self._occ[us] = new_occ[us]
+        return hits
+
+    @staticmethod
+    def _resolve(f, nxt, q, ways):
+        """Exact hit/miss for accesses the screens could not decide.
+
+        Lockstep backward block scan over all queries at once: walk a
+        cursor from ``k-1`` down in blocks of ``B`` positions, counting
+        positions whose line does not recur before ``k`` (``nxt[j] > k``
+        ⇔ a distinct line of the window).  A query retires as a miss
+        when the count reaches ``ways`` and as a hit when the scan
+        exhausts the window (reaches the previous occurrence) first.
+        Real streams retire within a block or two; the rare straggler
+        (duplicate-heavy long windows) falls back to an exact
+        first-in-window count, one vectorized reduction per query.
+        """
+        block = int(min(48, max(8, 2 * ways)))
+        max_blocks = 1 + (8 * ways + 64) // block
+        offs = np.arange(block, dtype=np.int64)
+        p = f[q]
+        c = q - 1
+        cnt = np.zeros(q.size, dtype=np.int64)
+        verdict = np.zeros(q.size, dtype=bool)
+        alive = np.arange(q.size)
+        qa, pa, ca, cna = q, p, c, cnt
+        for _ in range(max_blocks):
+            if not alive.size:
+                break
+            win = ca[:, None] - offs[None, :]
+            valid = win > pa[:, None]
+            dist = (nxt[np.maximum(win, 0)] > qa[:, None]) & valid
+            totals = cna + dist.sum(axis=1)
+            # A miss is decided as soon as the running count reaches
+            # `ways`; counts only accrue inside the window, so the block
+            # total is exact for deciding both outcomes below.
+            missed = totals >= ways
+            exhausted = ~valid[:, -1]
+            retired = missed | exhausted
+            verdict[alive[exhausted & ~missed]] = True
+            keep = ~retired
+            alive = alive[keep]
+            qa, pa, cna = qa[keep], pa[keep], totals[keep]
+            ca = ca[keep] - block
+        for i in alive:  # stragglers: count first-in-window occurrences
+            verdict[i] = int(
+                np.count_nonzero(f[p[i] + 1:q[i]] <= p[i])) < ways
+        return verdict

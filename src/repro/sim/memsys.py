@@ -25,9 +25,20 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from .. import obs
-from ..config import MachineConfig
+from ..config import CacheConfig, MachineConfig
 from .cache import Cache, dedup_consecutive, to_lines
+from .fastcache import FastCache
 from .trace import AccessStream, KernelTrace
+
+
+def make_cache(config: CacheConfig, name: str = "", *, fast: bool = True):
+    """One cache level in the selected model: the vectorized
+    :class:`~repro.sim.fastcache.FastCache` (default) or the
+    golden-reference :class:`~repro.sim.cache.Cache`.  Both are
+    bit-for-bit hit/miss-equivalent; ``MachineConfig.fast_cache``
+    (``--fast`` / ``--reference`` on the CLI) picks one."""
+    cls = FastCache if fast else Cache
+    return cls(config, name=name)
 
 
 @dataclass
@@ -116,12 +127,13 @@ class MemoryHierarchy:
         self.machine = machine
         self.sample_window = sample_window
         self.model_prefetchers = model_prefetchers
-        self.l1 = Cache(machine.l1d, name="l1")
-        self.l2 = Cache(machine.l2, name="l2")
+        fast = machine.fast_cache
+        self.l1 = make_cache(machine.l1d, name="l1", fast=fast)
+        self.l2 = make_cache(machine.l2, name="l2", fast=fast)
         # The LLC is shared; with all cores running the same kernel on
         # disjoint row ranges, contention is symmetric, so one core sees
         # the full LLC for its share of the data.
-        self.llc = Cache(machine.llc, name="llc")
+        self.llc = make_cache(machine.llc, name="llc", fast=fast)
 
     def reset(self) -> None:
         self.l1.reset()
@@ -201,7 +213,7 @@ def llc_only_profile(machine: MachineConfig, streams: list[AccessStream],
                      *, sample_window: int | None = None) -> AccessProfile:
     """Profile streams against the LLC alone — the TMU's view of the
     hierarchy (it reads directly from the LLC, Section 5.6)."""
-    llc = Cache(machine.llc, name="tmu_llc")
+    llc = make_cache(machine.llc, name="tmu_llc", fast=machine.fast_cache)
     profile = AccessProfile(line_bytes=machine.llc.line_bytes)
     for stream in streams:
         lines = to_lines(stream.addresses, machine.llc.line_bytes)

@@ -69,7 +69,16 @@ class Stream:
 
     ``derive(x)`` computes this stream's element from the parent's new
     element ``x``; memory-backed streams additionally report the byte
-    address they touch so the engine can drive the arbiter.
+    address they touch so the engine can drive the arbiter.  A stream
+    that overrides :meth:`touched_address` (today only ``MemStream``)
+    is detected structurally by the TU's precompiled plan, which gives
+    it a per-fiber touch buffer — overriding on a subclass is all it
+    takes to join the batched arbiter path.
+
+    ``index_in_tu`` is the stream's position in its TU's stream list,
+    assigned at attach time; it doubles as the positional key into
+    :class:`~repro.tmu.tu.Slot` values, so it must never change after
+    slots have been produced.
     """
 
     kind = "abstract"

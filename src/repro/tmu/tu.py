@@ -21,7 +21,6 @@ only affects timing, handled in :mod:`repro.sim.machine`).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from .. import obs
@@ -57,14 +56,38 @@ class TuState(enum.Enum):
     FEND = "fend"
 
 
-@dataclass
 class Slot:
-    """One queue entry: the values of every stream for one iteration."""
+    """One queue entry: the values of every stream for one iteration.
 
-    values: dict[Stream, object]
+    Values are stored positionally (``values[stream.index_in_tu]``)
+    instead of in a per-iteration dict; ``slot[stream]`` keeps the
+    mapping-style access the TGs, the engine and the callbacks use, and
+    ``items()`` iterates ``(stream, value)`` pairs.  Slots are pooled:
+    the engine returns consumed slots to their TU's free list once a
+    step's values have been marshaled, so steady-state iteration
+    allocates nothing.  Callers outside the engine (tests draining a
+    fiber by hand) simply never release slots and may hold them freely.
+    """
+
+    __slots__ = ("streams", "values")
+
+    def __init__(self, streams: list[Stream], values: list) -> None:
+        self.streams = streams
+        self.values = values
 
     def __getitem__(self, stream: Stream):
-        return self.values[stream]
+        return self.values[stream.index_in_tu]
+
+    def items(self):
+        return zip(self.streams, self.values)
+
+    def __repr__(self) -> str:
+        pairs = {s.name: v for s, v in self.items()}
+        return f"Slot({pairs!r})"
+
+
+#: precompiled per-stream opcodes (see ``TraversalUnit._build_plan``)
+_OP_FWD, _OP_ITE, _OP_LOCAL, _OP_REMOTE = range(4)
 
 
 class TraversalUnit:
@@ -98,6 +121,11 @@ class TraversalUnit:
         self._end = 0
         self._fwd_values: dict[Stream, object] = {}
         self._head: Slot | None = None
+        # precompiled per-stream derivation plan + pooled slots
+        self._plan: list[tuple] | None = None
+        self._plan_len = 0
+        self._free: list[Slot] = []
+        self._touch_entries: list[tuple[Stream, list[int]]] = []
         self.iterations = 0
         self.fiber_count = 0
         self.control_tokens: int = 0  # total tokens emitted (0s and 1s)
@@ -190,9 +218,54 @@ class TraversalUnit:
 
     # -- runtime --------------------------------------------------------
 
+    def _build_plan(self) -> None:
+        """Compile the stream tree into a flat per-stream plan.
+
+        ``peek`` resolves each non-ite stream through one precompiled
+        ``(op, stream, src, touch_buf)`` tuple instead of re-walking the
+        isinstance ladder every iteration.  ``touch_buf`` is a per-stream
+        address buffer (non-None only for streams that touch memory) the
+        engine drains per fiber via :meth:`flush_touches`."""
+        plan: list[tuple] = []
+        self._touch_entries = []
+        for stream in self.streams[1:]:
+            if isinstance(stream, FwdStream):
+                op, src = _OP_FWD, stream.source
+            elif isinstance(stream, IteStream):
+                op, src = _OP_ITE, None
+            else:
+                parent = stream.parent  # type: ignore[attr-defined]
+                if parent.tu is self:
+                    op, src = _OP_LOCAL, parent.index_in_tu
+                else:
+                    op, src = _OP_REMOTE, parent
+            buf: list[int] | None = None
+            if type(stream).touched_address is not Stream.touched_address:
+                buf = []
+                self._touch_entries.append((stream, buf))
+            plan.append((op, stream, src, buf))
+        self._plan = plan
+        self._plan_len = len(self.streams)
+        self._free.clear()  # pooled slots are sized for the old plan
+
+    def release(self, slot: Slot) -> None:
+        """Return a consumed slot to the pool for reuse (engine only)."""
+        if slot.streams is self.streams and len(slot.values) == \
+                self._plan_len:
+            self._free.append(slot)
+
+    def flush_touches(self, engine: "TmuEngine") -> None:
+        """Hand the buffered per-stream memory touches to the engine."""
+        for stream, buf in self._touch_entries:
+            if buf:
+                engine.record_touch_batch(self, stream, buf)
+                buf.clear()
+
     def begin(self, beg_value: int, end_value: int,
               fwd_values: dict[Stream, object] | None = None) -> None:
         """``fbeg``: latch iteration bounds for a new fiber."""
+        if self._plan is None or self._plan_len != len(self.streams):
+            self._build_plan()
         self._cur = int(beg_value) + self.offset
         self._end = int(end_value)
         self._head = None
@@ -235,6 +308,8 @@ class TraversalUnit:
         if not forward:
             self.state = TuState.FEND
             self.control_tokens += 1  # the `1` end token
+            if engine is not None:
+                self.flush_touches(engine)
             if self._trace_t0 is not None:
                 tracer = obs.tracer()
                 fiber_len = self.iterations - self._trace_it0
@@ -244,30 +319,43 @@ class TraversalUnit:
                 tracer.sample(self._trace_track, "fiber_len", fiber_len)
                 self._trace_t0 = None
             return None
-        values: dict[Stream, object] = {}
-        for stream in self.streams:
-            if isinstance(stream, FwdStream):
-                values[stream] = self._fwd_values.get(stream.source)
+        if self._plan is None or self._plan_len != len(self.streams):
+            self._build_plan()
+        cur = self._cur
+        free = self._free
+        if free:
+            slot = free.pop()
+            values = slot.values
+            values[0] = cur
+        else:
+            values = [cur] * self._plan_len
+            slot = Slot(self.streams, values)
+        batch = engine is not None and getattr(
+            engine, "batch_touches", False)
+        for i, (op, stream, src, buf) in enumerate(self._plan, 1):
+            if op == _OP_FWD:
+                values[i] = self._fwd_values.get(src)
                 continue
-            if isinstance(stream, IteStream):
-                x = self._cur
-            else:
-                parent = stream.parent  # type: ignore[attr-defined]
-                if parent.tu is self:
-                    x = values[parent]
-                else:
-                    x = self._fwd_values.get(parent)
-                    if x is None:
-                        raise TMURuntimeError(
-                            f"{self.name}: parent value for "
-                            f"{stream.name} not forwarded"
-                        )
-            values[stream] = stream.derive(x)
-            if engine is not None:
+            if op == _OP_ITE:
+                x = cur
+            elif op == _OP_LOCAL:
+                x = values[src]
+            else:  # _OP_REMOTE
+                x = self._fwd_values.get(src)
+                if x is None:
+                    raise TMURuntimeError(
+                        f"{self.name}: parent value for "
+                        f"{stream.name} not forwarded"
+                    )
+            values[i] = stream.derive(x)
+            if buf is not None and engine is not None:
                 addr = stream.touched_address(x)
                 if addr is not None:
-                    engine.record_memory_touch(self, stream, addr)
-        self._head = Slot(values)
+                    if batch:
+                        buf.append(addr)
+                    else:
+                        engine.record_memory_touch(self, stream, addr)
+        self._head = slot
         self.control_tokens += 1  # the `0` iteration token
         return self._head
 

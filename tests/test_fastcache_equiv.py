@@ -1,0 +1,201 @@
+"""FastCache vs the golden-reference Cache: bit-for-bit equivalence.
+
+The vectorized simulator must produce the *same hit mask on every
+access* as the list-based reference, for any geometry and any access
+pattern — including the call-boundary composition (state carried
+between ``lookup_lines`` calls) and the derived state queries
+(``contains_line``, ``reset``).  The seeded fuzz below replays well
+over 1000 randomized streams through both models.
+
+The second half pins the slot-free TMU engine: RunStats must be
+identical whether memory touches flow through the batched per-fiber
+path or the per-touch reference path, on every Table 4 kernel.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import CacheConfig
+from repro.fibers.fiber import Fiber
+from repro.formats.convert import coo_to_csf
+from repro.generators import uniform_random_matrix, uniform_random_tensor
+from repro.kernels import split_rows_cyclic
+from repro.kernels.triangle import lower_triangle
+from repro.programs import (
+    build_mttkrp_program,
+    build_spkadd_program,
+    build_spmm_program,
+    build_spmspm_program,
+    build_spmspv_program,
+    build_spmv_program,
+    build_sptc_program,
+    build_spttm_program,
+    build_spttv_program,
+    build_triangle_program,
+)
+from repro.sim.cache import Cache
+from repro.sim.fastcache import FastCache
+from repro.tmu import TmuEngine
+
+# ------------------------------------------------------------ cache fuzzing
+
+
+def _pair(sets: int, ways: int) -> tuple[Cache, FastCache]:
+    cfg = CacheConfig(sets * ways * 64, ways, 1, 4)
+    return Cache(cfg), FastCache(cfg)
+
+
+def _stream(
+    rng: np.random.Generator, kind: str, n: int, sets: int, ways: int
+) -> np.ndarray:
+    """One adversarial line stream of length ``n``."""
+    capacity = sets * ways
+    if kind == "uniform":
+        return rng.integers(0, 4 * capacity + 1, n)
+    if kind == "conflict":
+        # hammer one or two sets with way-aliasing lines
+        base = rng.integers(0, sets, 1)[0]
+        return base + sets * rng.integers(0, 2 * ways + 1, n)
+    if kind == "sequential":
+        start = rng.integers(0, capacity, 1)[0]
+        return np.arange(start, start + n)
+    if kind == "thrash":
+        # cyclic loop slightly larger than one set's ways: all misses
+        # after warmup on true LRU — the classic LRU stress
+        loop = sets * (ways + rng.integers(1, 3, 1)[0])
+        return np.arange(n) % loop
+    if kind == "reuse":
+        # working set within capacity, revisited with repeats
+        ws = rng.integers(1, max(2, capacity), 1)[0]
+        return rng.integers(0, ws, n)
+    # "burst": runs of repeated lines (consecutive-duplicate heavy)
+    reps = rng.integers(1, 6, n)
+    vals = rng.integers(0, 2 * capacity + 1, n)
+    return np.repeat(vals, reps)[:n]
+
+
+def _replay(
+    ref: Cache, fast: FastCache, lines: np.ndarray, rng: np.random.Generator
+) -> None:
+    """Feed one stream through both models in random-sized chunks and
+    assert identical hit masks at every call boundary."""
+    pos = 0
+    while pos < lines.size:
+        step = int(rng.integers(1, max(2, lines.size // 3 + 1), 1)[0])
+        chunk = lines[pos : pos + step]
+        pos += step
+        hits_ref = ref.lookup_lines(chunk)
+        hits_fast = fast.lookup_lines(chunk)
+        np.testing.assert_array_equal(hits_ref, hits_fast)
+
+
+class TestFuzzEquivalence:
+    def test_randomized_streams(self):
+        """1080 randomized streams across random geometries."""
+        rng = np.random.default_rng(0xF457CAC4)
+        kinds = ("uniform", "conflict", "sequential", "thrash", "reuse", "burst")
+        streams = 0
+        for _rep in range(180):
+            sets = int(rng.choice([1, 2, 4, 8, 16, 32]))
+            ways = int(rng.integers(1, 17, 1)[0])
+            ref, fast = _pair(sets, ways)
+            for kind in kinds:
+                n = int(rng.integers(1, 220, 1)[0])
+                _replay(ref, fast, _stream(rng, kind, n, sets, ways), rng)
+                streams += 1
+            assert ref.stats.accesses == fast.stats.accesses
+            assert ref.stats.hits == fast.stats.hits
+            assert ref.stats.misses == fast.stats.misses
+            # resident-state parity on a sample of lines
+            for line in rng.integers(0, 4 * sets * ways + 1, 16):
+                val = int(line)
+                assert ref.contains_line(val) == fast.contains_line(val)
+        assert streams >= 1000
+
+    def test_reset_matches(self):
+        rng = np.random.default_rng(7)
+        ref, fast = _pair(4, 3)
+        _replay(ref, fast, rng.integers(0, 40, 100), rng)
+        ref.reset()
+        fast.reset()
+        assert fast.stats.accesses == 0
+        assert not fast.contains_line(0)
+        _replay(ref, fast, rng.integers(0, 40, 100), rng)
+
+    def test_empty_lookup(self):
+        ref, fast = _pair(2, 2)
+        empty = np.zeros(0, dtype=np.int64)
+        hits_ref = ref.lookup_lines(empty)
+        hits_fast = fast.lookup_lines(empty)
+        np.testing.assert_array_equal(hits_ref, hits_fast)
+
+    def test_mshrs_exposed(self):
+        _, fast = _pair(2, 2)
+        assert fast.mshrs == 4
+
+
+# ------------------------------------------------ engine RunStats parity
+
+
+def _builders():
+    rng = np.random.default_rng(31)
+    matrix = uniform_random_matrix(30, 30, 4, seed=13)
+    vector = rng.random(matrix.num_cols)
+    sv_idx = np.sort(rng.choice(matrix.num_cols, 7, replace=False))
+    csf = coo_to_csf(uniform_random_tensor((9, 8, 7), 100, seed=6))
+    return {
+        "spmv": lambda: build_spmv_program(matrix, vector, lanes=2),
+        "spmspv": lambda: build_spmspv_program(matrix, Fiber(sv_idx, rng.random(7))),
+        "spmm": lambda: build_spmm_program(
+            matrix, rng.random((matrix.num_cols, 5)), lanes=2
+        ),
+        "spmspm": lambda: build_spmspm_program(matrix, matrix.transpose(), lanes=2),
+        "spkadd": lambda: build_spkadd_program(split_rows_cyclic(matrix, 4)),
+        "triangle": lambda: build_triangle_program(
+            lower_triangle(uniform_random_matrix(40, 40, 5, seed=21))
+        ),
+        "mttkrp": lambda: build_mttkrp_program(
+            uniform_random_tensor((10, 8, 6), 120, seed=5),
+            rng.random((8, 4)),
+            rng.random((6, 4)),
+        ),
+        "spttv": lambda: build_spttv_program(csf, rng.random(7)),
+        "spttm": lambda: build_spttm_program(csf, rng.random((7, 3))),
+        "sptc": lambda: build_sptc_program(
+            coo_to_csf(uniform_random_tensor((8, 7, 6), 90, seed=7)),
+            coo_to_csf(uniform_random_tensor((6, 7, 9), 90, seed=8)),
+        ),
+    }
+
+
+def _stats_dict(stats) -> dict:
+    return {
+        "layer_iterations": stats.layer_iterations,
+        "layer_merge_steps": stats.layer_merge_steps,
+        "layer_activations": stats.layer_activations,
+        "outq_records": stats.outq_records,
+        "outq_bytes": stats.outq_bytes,
+        "outq_chunks": stats.outq_chunks,
+        "memory_touches": stats.memory_touches,
+        "memory_lines": stats.memory_lines,
+        "memory_bytes": stats.memory_bytes,
+        "callback_counts": stats.callback_counts,
+    }
+
+
+@pytest.mark.parametrize("kernel", sorted(_builders()))
+def test_runstats_identical_batched_vs_per_touch(kernel):
+    """The slot-free engine's RunStats must not depend on whether memory
+    touches take the batched per-fiber path or the per-touch reference
+    path — on every Table 4 kernel program."""
+    builders = _builders()
+    batched_built = builders[kernel]()
+    engine = TmuEngine(batched_built.program)
+    batched = _stats_dict(engine.run(batched_built.handlers))
+
+    reference_built = builders[kernel]()
+    engine = TmuEngine(reference_built.program)
+    engine.batch_touches_enabled = False
+    reference = _stats_dict(engine.run(reference_built.handlers))
+
+    assert batched == reference
