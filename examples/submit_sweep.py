@@ -1,0 +1,74 @@
+"""Drive the simulation job service end to end, in-process.
+
+This example boots a :class:`~repro.serve.SimService` on an ephemeral
+port, submits a declarative sweep through the stdlib HTTP client,
+streams progress events while it runs, fetches the content-addressed
+result records, and then demonstrates the service's core guarantee:
+resubmitting the same sweep — however it is phrased — costs nothing,
+because the job id is the sha256 of the expanded cell hashes.
+
+Against an already-running server (``python -m repro serve``), skip
+the booting part and just point :class:`ServeClient` at its URL; the
+client half of this script is unchanged.
+
+Run:  PYTHONPATH=src python examples/submit_sweep.py
+"""
+
+import tempfile
+import threading
+from pathlib import Path
+
+from repro.serve import ServeClient, SimService, make_server, make_sweep
+
+state = Path(tempfile.mkdtemp(prefix="repro-serve-example-"))
+
+# ------------------------------------------------------ boot the service
+# state_dir holds the resumable job journal; cache_dir the
+# content-addressed result records shared with every other repro run.
+service = SimService(state_dir=state / "state",
+                     cache_dir=state / "cache", telemetry=True)
+recovered = service.start()
+server = make_server(service, port=0, quiet=True)
+threading.Thread(target=server.serve_forever, daemon=True).start()
+url = f"http://127.0.0.1:{server.server_address[1]}"
+print(f"service on {url} ({recovered} jobs recovered from journal)")
+
+# ------------------------------------------------------- submit a sweep
+# A sweep is declarative: workloads x inputs (x machine configs); the
+# server expands it into content-hashed simulation cells.
+client = ServeClient(url)
+sweep = make_sweep(workloads=["spmv", "spkadd"], inputs=["M1", "M2"])
+job = client.submit(sweep, client="example", priority=1)
+print(f"submitted job {job['id'][:12]} "
+      f"({job['total']} cells, created={job['_created']})")
+
+# ------------------------------------- stream progress until completion
+for event in client.stream_events(job["id"]):
+    print(f"  [{event['event']:>9}] {event.get('message', '')}")
+
+# ------------------------------------------------------- fetch results
+job = client.job(job["id"])
+print(f"job {job['state']}: {job['simulated']} simulated, "
+      f"{job['cached']} cached, {job['failed']} failed")
+result = client.result(job["id"])
+some_hash, record = next(iter(result["records"].items()))
+print(f"fetched {len(result['records'])} records "
+      f"({result['missing']} missing); e.g. cell {some_hash[:12]} -> "
+      f"{sorted(record)[:5]} ...")
+
+# ------------------------------------------- idempotent resubmission
+# Same cells, different phrasing: the job id is content-addressed, so
+# this deduplicates onto the finished job and costs zero simulations.
+again = client.submit(
+    make_sweep(workloads=["spkadd", "spmv"], inputs=["M2", "M1"]),
+    client="someone-else")
+assert again["id"] == job["id"] and not again["_created"]
+print(f"resubmission deduplicated onto {again['id'][:12]} "
+      f"(state={again['state']}, 0 new simulations)")
+
+stats = client.stats()
+print(f"server stats: queue_depth={stats['queue_depth']}, "
+      f"jobs={stats['jobs']}")
+
+server.shutdown()
+service.stop()

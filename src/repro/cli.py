@@ -13,6 +13,10 @@ Usage::
     python -m repro trace export trace.json      # Perfetto-loadable JSON
     python -m repro trace report trace.json      # stall attribution
     python -m repro cache-gc          # reclaim stale cache entries
+    python -m repro serve --port 8321            # simulation job service
+    python -m repro submit --workloads spmv,spkadd --wait
+    python -m repro jobs                         # list service jobs
+    python -m repro fetch <job-id> --out results.json
     tmu-repro table6
 
 Simulation cells are executed through :mod:`repro.runtime`: results
@@ -30,6 +34,11 @@ is built from exactly these two pieces).
 (:mod:`repro.obs.tracing`) and writes a ``repro.trace/1`` JSON file;
 ``trace export`` converts it to Perfetto-loadable JSON and ``trace
 report`` folds it into a per-component stall/cycle decomposition.
+
+``serve`` runs the long-lived simulation job service
+(:mod:`repro.serve`); ``submit``, ``jobs`` and ``fetch`` talk to it
+over HTTP — submit a declarative sweep, watch its progress, fetch its
+content-addressed results.
 """
 
 from __future__ import annotations
@@ -369,6 +378,254 @@ def _stats_main(argv: list[str]) -> int:
         return 0
 
 
+# ------------------------------------------------------------------- serve
+
+def _build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="tmu-repro serve",
+        description="Run the simulation job service: accepts sweep "
+                    "submissions over HTTP, executes them through the "
+                    "experiment runtime, serves results by content "
+                    "hash.",
+    )
+    from .serve import DEFAULT_HOST, DEFAULT_PORT, DEFAULT_STATE_DIR
+
+    parser.add_argument("--host", default=DEFAULT_HOST,
+                        help=f"bind address (default: {DEFAULT_HOST})")
+    parser.add_argument("--port", type=int, default=DEFAULT_PORT,
+                        help=f"bind port, 0 for ephemeral (default: "
+                             f"{DEFAULT_PORT})")
+    parser.add_argument("--port-file", default=None, metavar="PATH",
+                        help="write the bound port to PATH once "
+                             "listening (handy with --port 0)")
+    parser.add_argument("--state-dir", default=DEFAULT_STATE_DIR,
+                        metavar="DIR",
+                        help="job journal location (default: "
+                             f"{DEFAULT_STATE_DIR})")
+    parser.add_argument("--cache-dir", default=runtime.DEFAULT_CACHE_DIR,
+                        metavar="DIR",
+                        help="content-addressed result cache (default: "
+                             f"{runtime.DEFAULT_CACHE_DIR})")
+    parser.add_argument("--jobs", "-j", type=int, default=1,
+                        metavar="N",
+                        help="worker processes per executor batch "
+                             "(default: 1)")
+    parser.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="concurrent jobs (scheduler worker "
+                             "threads; default: 1)")
+    parser.add_argument("--quota", type=int, default=8, metavar="N",
+                        help="max active jobs per client (default: 8)")
+    parser.add_argument("--timeout", type=float, default=None,
+                        metavar="SEC", help="per-cell timeout")
+    parser.add_argument("--retries", type=int, default=1, metavar="N",
+                        help="retry budget per failed cell "
+                             "(default: 1)")
+    parser.add_argument("--batch-size", type=int, default=None,
+                        metavar="N",
+                        help="cells per executor batch (cancel/"
+                             "journal granularity; default: 8)")
+    parser.add_argument("--no-telemetry", action="store_true",
+                        help="skip the repro.obs service gauges")
+    return parser
+
+
+def _build_submit_parser() -> argparse.ArgumentParser:
+    from .serve import DEFAULT_URL
+
+    parser = argparse.ArgumentParser(
+        prog="tmu-repro submit",
+        description="Submit a declarative sweep to a running "
+                    "simulation service.",
+    )
+    parser.add_argument("--url", default=DEFAULT_URL,
+                        help=f"service URL (default: {DEFAULT_URL})")
+    parser.add_argument("--workloads", required=True, metavar="W1,W2",
+                        help="comma-separated workloads to sweep")
+    parser.add_argument("--inputs", default=None, metavar="I1,I2",
+                        help="comma-separated inputs (default: each "
+                             "workload's full suite)")
+    parser.add_argument("--scale", default="small",
+                        choices=("small", "medium", "paper"))
+    parser.add_argument("--variants", default="baseline,tmu",
+                        metavar="V1,V2",
+                        help="system variants per cell (default: "
+                             "baseline,tmu)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--client", default="cli",
+                        help="client id for quota accounting "
+                             "(default: cli)")
+    parser.add_argument("--priority", type=int, default=0,
+                        help="higher runs sooner (default: 0)")
+    parser.add_argument("--wait", action="store_true",
+                        help="poll until the job finishes, printing "
+                             "progress events")
+    parser.add_argument("--json", action="store_true",
+                        help="print the raw job record as JSON")
+    return parser
+
+
+def _build_fetch_parser() -> argparse.ArgumentParser:
+    from .serve import DEFAULT_URL
+
+    parser = argparse.ArgumentParser(
+        prog="tmu-repro fetch",
+        description="Fetch a service job's result records (waits for "
+                    "completion with --wait).",
+    )
+    parser.add_argument("job", help="job id (from 'repro submit')")
+    parser.add_argument("--url", default=DEFAULT_URL)
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="write the result JSON to PATH instead "
+                             "of stdout")
+    parser.add_argument("--wait", action="store_true",
+                        help="poll until the job reaches a terminal "
+                             "state first")
+    return parser
+
+
+def _build_jobs_parser() -> argparse.ArgumentParser:
+    from .serve import DEFAULT_URL
+
+    parser = argparse.ArgumentParser(
+        prog="tmu-repro jobs",
+        description="List the jobs of a running simulation service.",
+    )
+    parser.add_argument("--url", default=DEFAULT_URL)
+    parser.add_argument("--json", action="store_true",
+                        help="print raw job records as JSON")
+    return parser
+
+
+def _serve_main(argv: list[str]) -> int:
+    from .serve import SimService, make_server
+
+    args = _build_serve_parser().parse_args(argv)
+    try:
+        service = SimService(
+            state_dir=args.state_dir, cache_dir=args.cache_dir,
+            jobs=args.jobs, workers=args.workers, quota=args.quota,
+            timeout=args.timeout, retries=args.retries,
+            batch_size=args.batch_size,
+            telemetry=not args.no_telemetry)
+        recovered = service.start()
+        server = make_server(service, host=args.host, port=args.port)
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    port = server.server_address[1]
+    if args.port_file:
+        Path(args.port_file).write_text(str(port), encoding="utf-8")
+    print(f"serve: listening on http://{args.host}:{port} "
+          f"(state: {args.state_dir}, cache: {args.cache_dir}, "
+          f"workers={args.workers}, jobs={args.jobs}"
+          + (f"; recovered {recovered} job(s)" if recovered else "")
+          + ")",
+          file=sys.stderr)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("serve: shutting down", file=sys.stderr)
+    finally:
+        server.shutdown()
+        service.stop()
+    return 0
+
+
+def _submit_main(argv: list[str]) -> int:
+    from .serve import ServeClient, make_sweep
+
+    args = _build_submit_parser().parse_args(argv)
+
+    def split(s: str) -> tuple[str, ...]:
+        return tuple(x.strip() for x in s.split(",") if x.strip())
+
+    sweep = make_sweep(
+        workloads=split(args.workloads),
+        inputs=split(args.inputs) if args.inputs else None,
+        scale=args.scale, variants=split(args.variants),
+        seed=args.seed)
+    client = ServeClient(args.url)
+    try:
+        job = client.submit(sweep, client=args.client,
+                            priority=args.priority)
+        created = job.get("_created", True)
+        if args.wait:
+            job = client.wait(
+                job["id"],
+                on_event=lambda e: print(
+                    e.get("message", e["event"]), file=sys.stderr))
+            job["_created"] = created
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(job, indent=2, sort_keys=True))
+    else:
+        print(f"job {job['id']}")
+        print(f"  state: {job['state']}"
+              + ("" if job.get("_created", True) else
+                 " (deduplicated onto an existing job)"))
+        print(f"  cells: {job['total']} "
+              f"(completed {job['completed']}, cached {job['cached']}, "
+              f"simulated {job['simulated']}, failed {job['failed']})")
+    return 0 if job["state"] in ("pending", "running", "done") else 1
+
+
+def _jobs_main(argv: list[str]) -> int:
+    args = _build_jobs_parser().parse_args(argv)
+    from .serve import ServeClient
+
+    try:
+        jobs = ServeClient(args.url).jobs()
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(jobs, indent=2, sort_keys=True))
+        return 0
+    if not jobs:
+        print("no jobs")
+        return 0
+    print(f"{'job':12}  {'state':9}  {'client':10}  "
+          f"{'cells':>5}  {'done':>4}  {'cached':>6}  workloads")
+    for job in jobs:
+        print(f"{job['id'][:12]}  {job['state']:9}  "
+              f"{job['client'][:10]:10}  {job['total']:>5}  "
+              f"{job['completed']:>4}  {job['cached']:>6}  "
+              f"{','.join(job['sweep'].get('workloads', []))}")
+    return 0
+
+
+def _fetch_main(argv: list[str]) -> int:
+    args = _build_fetch_parser().parse_args(argv)
+    from .serve import ServeClient
+
+    client = ServeClient(args.url)
+    try:
+        if args.wait:
+            client.wait(args.job)
+        result = client.result(args.job)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    rendered = json.dumps(result, indent=2, sort_keys=True)
+    if args.out:
+        Path(args.out).write_text(rendered + "\n", encoding="utf-8")
+        print(f"results: {args.out} ({len(result['records'])} records, "
+              f"{result['missing']} missing)", file=sys.stderr)
+    else:
+        print(rendered)
+    return 0 if result["job"]["state"] == "done" else 1
+
+
+_SERVICE_COMMANDS = {
+    "serve": _serve_main,
+    "submit": _submit_main,
+    "jobs": _jobs_main,
+    "fetch": _fetch_main,
+}
+
+
 def _combined_manifest(rt: runtime.Runtime) -> RunManifest | None:
     """Merge the manifests of every executor batch this invocation ran
     into one provenance record."""
@@ -406,6 +663,8 @@ def main(argv: list[str] | None = None) -> int:
         return _stats_main(argv[1:])
     if argv and argv[0] == "trace":
         return _trace_main(argv[1:])
+    if argv and argv[0] in _SERVICE_COMMANDS:
+        return _SERVICE_COMMANDS[argv[0]](argv[1:])
     args = _build_parser().parse_args(argv)
 
     if args.experiment in _CACHE_COMMANDS:

@@ -54,3 +54,9 @@ class ExecutorError(ReproError):
 class ObsError(ReproError):
     """The telemetry layer was misused (metric kind mismatch) or a perf
     snapshot violated the schema."""
+
+
+class ServeError(ReproError):
+    """The simulation job service was driven with an invalid request
+    (malformed sweep spec, unknown job, illegal state transition) or
+    refused one (per-client quota exhausted)."""

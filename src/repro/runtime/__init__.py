@@ -26,7 +26,7 @@ from pathlib import Path
 from typing import Callable
 
 from .cache import CacheStats, NullCache, ResultCache
-from .executor import RunReport, Runtime, TaskOutcome
+from .executor import ProgressEvent, RunReport, Runtime, TaskOutcome
 from .manifest import ManifestEntry, RunManifest
 from .task import (
     CODE_SALT,
@@ -35,6 +35,7 @@ from .task import (
     machine_from_dict,
     machine_to_dict,
     run_from_record,
+    task_from_spec,
 )
 
 __all__ = [
@@ -42,6 +43,7 @@ __all__ = [
     "Runtime",
     "RunReport",
     "TaskOutcome",
+    "ProgressEvent",
     "ResultCache",
     "NullCache",
     "CacheStats",
@@ -52,6 +54,7 @@ __all__ = [
     "machine_to_dict",
     "machine_from_dict",
     "run_from_record",
+    "task_from_spec",
     "configure",
     "active_runtime",
     "reset",
@@ -68,7 +71,8 @@ _active: Runtime | None = None
 def configure(*, jobs: int = 1,
               cache_dir: str | Path | None = None,
               timeout: float | None = None, retries: int = 1,
-              progress: Callable[[str], None] | None = None) -> Runtime:
+              progress: Callable[[ProgressEvent], None] | None = None,
+              ) -> Runtime:
     """Install (and return) the process-wide runtime.
 
     ``cache_dir=None`` disables the on-disk cache (results still

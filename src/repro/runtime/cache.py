@@ -5,14 +5,25 @@ the hash covers the full task spec *and* a code-version salt
 (:data:`repro.runtime.task.CODE_SALT`), so a model change or record
 schema bump silently misses instead of serving stale results.
 :meth:`ResultCache.gc` reclaims those orphaned entries.
+
+Both cache classes are safe for concurrent readers and writers within
+one process (the simulation service shares a single instance across
+its worker threads): file operations are atomic renames, and the stats
+counters are updated under an internal lock so two threads never lose
+an increment to a read-modify-write race.  Across processes (a service
+and a one-shot CLI run sharing a cache dir), writes of the same hash
+produce identical bytes by construction, so last-rename-wins is
+harmless.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import threading
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Iterable
 
 from .task import CODE_SALT, SimTask
 
@@ -49,14 +60,23 @@ class NullCache:
 
     def __init__(self) -> None:
         self.stats = CacheStats()
+        self._lock = threading.Lock()
 
     @property
     def root(self) -> None:
         return None
 
     def get(self, task: SimTask | str) -> dict | None:
-        self.stats.misses += 1
+        with self._lock:
+            self.stats.misses += 1
         return None
+
+    def get_many(self, tasks: Iterable[SimTask | str]
+                 ) -> dict[str, dict | None]:
+        hashes = [_task_hash(t) for t in tasks]
+        with self._lock:
+            self.stats.misses += len(hashes)
+        return {h: None for h in hashes}
 
     def put(self, task: SimTask | str, record: dict) -> None:
         pass
@@ -86,6 +106,8 @@ class ResultCache:
     def __post_init__(self) -> None:
         self.root = Path(self.root)
         self.root.mkdir(parents=True, exist_ok=True)
+        # not a dataclass field: locks don't compare, copy or serialize
+        self._lock = threading.Lock()
 
     def path_for(self, task: SimTask | str) -> Path:
         return self.root / f"{_task_hash(task)}.json"
@@ -98,28 +120,42 @@ class ResultCache:
             with path.open("r", encoding="utf-8") as fh:
                 record = json.load(fh)
         except FileNotFoundError:
-            self.stats.misses += 1
+            with self._lock:
+                self.stats.misses += 1
             return None
         except (OSError, json.JSONDecodeError):
-            self.stats.misses += 1
-            self.stats.errors += 1
+            with self._lock:
+                self.stats.misses += 1
+                self.stats.errors += 1
             path.unlink(missing_ok=True)
             return None
         if record.get("salt") != CODE_SALT:
             # hash collisions across salts are impossible, but a record
             # written by a hand-rolled tool might lie; be strict.
-            self.stats.misses += 1
+            with self._lock:
+                self.stats.misses += 1
             return None
-        self.stats.hits += 1
+        with self._lock:
+            self.stats.hits += 1
         return record
+
+    def get_many(self, tasks: Iterable[SimTask | str]
+                 ) -> dict[str, dict | None]:
+        """Batch lookup: ``{hash: record-or-None}`` for every task.
+
+        One call, one stats settlement — the executor and the service
+        use this for the leading is-it-cached sweep over a batch."""
+        return {_task_hash(t): self.get(_task_hash(t)) for t in tasks}
 
     def put(self, task: SimTask | str, record: dict) -> None:
         path = self.path_for(task)
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp = path.with_suffix(
+            f".tmp.{os.getpid()}.{threading.get_ident()}")
         tmp.write_text(json.dumps(record, sort_keys=True),
                        encoding="utf-8")
         os.replace(tmp, path)
-        self.stats.puts += 1
+        with self._lock:
+            self.stats.puts += 1
 
     def invalidate(self, task: SimTask | str | None = None) -> int:
         """Drop one record (or every record when ``task`` is ``None``);

@@ -27,6 +27,8 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
+__all__ = ["ProgressEvent", "TaskOutcome", "RunReport", "Runtime"]
+
 from .. import obs
 from ..errors import ExecutorError
 from .cache import NullCache, ResultCache
@@ -60,6 +62,50 @@ def _evaluate_task(task: SimTask, capture_telemetry: bool = False,
     if tracer is not None:
         record["trace"] = tracer.as_dict()
     return record
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One structured progress notification from the executor.
+
+    The CLI renders :attr:`message`; the simulation service journals
+    :meth:`as_dict` on the job record — both consume the same stream.
+
+    ``kind`` is one of ``"batch"`` (a batch was accepted: ``done`` of
+    ``total`` cells came from cache), ``"cell"`` (one cell finished,
+    ``state`` is ``"simulated"`` or ``"failed"``), ``"pool"`` (an
+    executor mode change: pool unavailable / broke, serial fallback)
+    or ``"summary"`` (the batch's manifest summary).
+    """
+
+    kind: str
+    message: str
+    task_hash: str | None = None
+    label: str | None = None
+    state: str | None = None
+    attempt: int = 0
+    elapsed: float = 0.0
+    done: int = 0
+    total: int = 0
+
+    def __str__(self) -> str:
+        return self.message
+
+    def as_dict(self) -> dict:
+        """The event as a plain JSON-able dict (None fields dropped)."""
+        data = {
+            "kind": self.kind,
+            "message": self.message,
+            "attempt": self.attempt,
+            "elapsed": round(self.elapsed, 6),
+            "done": self.done,
+            "total": self.total,
+        }
+        for key in ("task_hash", "label", "state"):
+            value = getattr(self, key)
+            if value is not None:
+                data[key] = value
+        return data
 
 
 @dataclass
@@ -105,7 +151,8 @@ class Runtime:
                  cache: ResultCache | NullCache | None = None,
                  timeout: float | None = None, retries: int = 1,
                  backoff: float = 0.25,
-                 progress: Callable[[str], None] | None = None) -> None:
+                 progress: Callable[[ProgressEvent], None] | None = None,
+                 ) -> None:
         if jobs < 1:
             raise ExecutorError(f"jobs must be >= 1, got {jobs}")
         if retries < 0:
@@ -121,9 +168,10 @@ class Runtime:
 
     # ------------------------------------------------------------- helpers
 
-    def _emit(self, message: str) -> None:
+    def _emit(self, kind: str, message: str, **fields) -> None:
         if self.progress is not None:
-            self.progress(message)
+            self.progress(ProgressEvent(kind=kind, message=message,
+                                        **fields))
 
     def _attempt_serial(self, task: SimTask,
                         first_attempt: int = 1) -> TaskOutcome:
@@ -156,9 +204,15 @@ class Runtime:
         for i, task in enumerate(tasks, 1):
             outcome = self._attempt_serial(task)
             outcomes.append(outcome)
-            self._emit(f"[{i}/{len(tasks)}] simulated {task.label} "
+            self._emit("cell",
+                       f"[{i}/{len(tasks)}] simulated {task.label} "
                        f"in {outcome.wall_time:.2f}s"
-                       + ("" if outcome.ok else f" — {outcome.error}"))
+                       + ("" if outcome.ok else f" — {outcome.error}"),
+                       task_hash=task.content_hash(), label=task.label,
+                       state="simulated" if outcome.ok else "failed",
+                       attempt=outcome.attempts,
+                       elapsed=outcome.wall_time,
+                       done=i, total=len(tasks))
         return outcomes
 
     def _run_pool(self, tasks: Sequence[SimTask]
@@ -168,8 +222,9 @@ class Runtime:
             pool = ProcessPoolExecutor(max_workers=self.jobs)
         except (OSError, ImportError, NotImplementedError,
                 PermissionError) as exc:
-            self._emit(f"process pool unavailable ({exc}); "
-                       "falling back to serial execution")
+            self._emit("pool", f"process pool unavailable ({exc}); "
+                       "falling back to serial execution",
+                       total=len(tasks))
             return self._run_serial(tasks), "fallback-serial"
 
         outcomes: list[TaskOutcome] = [None] * len(tasks)  # type: ignore
@@ -185,8 +240,9 @@ class Runtime:
                                            obs.tracing_enabled()))
                            for i, t in enumerate(tasks)]
             except BrokenProcessPool:
-                self._emit("process pool broke on submit; "
-                           "falling back to serial execution")
+                self._emit("pool", "process pool broke on submit; "
+                           "falling back to serial execution",
+                           total=len(tasks))
                 return self._run_serial(tasks), "fallback-serial"
             done = 0
             for i, future in futures:
@@ -208,8 +264,9 @@ class Runtime:
                 except BrokenProcessPool:
                     # the pool is gone; everything still pending reruns
                     # serially (attempt 1 didn't really happen for them).
-                    self._emit("process pool broke mid-run; finishing "
-                               "remaining cells serially")
+                    self._emit("pool", "process pool broke mid-run; "
+                               "finishing remaining cells serially",
+                               done=done, total=len(tasks))
                     for j, other in futures:
                         if outcomes[j] is None:
                             outcomes[j] = self._attempt_serial(tasks[j])
@@ -222,9 +279,19 @@ class Runtime:
                         error=f"{type(exc).__name__}: {exc}")
                     to_retry.append(i)
                 done += 1
-                if outcomes[i] is not None and outcomes[i].ok:
-                    self._emit(f"[{done}/{len(tasks)}] simulated "
-                               f"{task.label}")
+                if outcomes[i] is not None:
+                    out = outcomes[i]
+                    self._emit("cell",
+                               f"[{done}/{len(tasks)}] "
+                               + (f"simulated {task.label}" if out.ok
+                                  else f"failed {task.label} — "
+                                       f"{out.error}"),
+                               task_hash=task.content_hash(),
+                               label=task.label,
+                               state="simulated" if out.ok else "failed",
+                               attempt=out.attempts,
+                               elapsed=out.wall_time,
+                               done=done, total=len(tasks))
         # bounded retry, in-process where tracebacks are debuggable
         for i in to_retry:
             if self.retries and not outcomes[i].ok:
@@ -249,8 +316,9 @@ class Runtime:
 
         outcomes: dict[str, TaskOutcome] = {}
         misses: list[SimTask] = []
+        cached_records = self.cache.get_many(ordered)
         for task in ordered:
-            record = self.cache.get(task)
+            record = cached_records.get(task.content_hash())
             if record is not None:
                 outcomes[task.content_hash()] = TaskOutcome(
                     task, record, cached=True, wall_time=0.0, attempts=0)
@@ -259,9 +327,12 @@ class Runtime:
 
         mode = "serial"
         if misses:
-            self._emit(f"runtime: {len(ordered)} cells, "
+            self._emit("batch",
+                       f"runtime: {len(ordered)} cells, "
                        f"{len(ordered) - len(misses)} cached, "
-                       f"{len(misses)} to simulate (jobs={self.jobs})")
+                       f"{len(misses)} to simulate (jobs={self.jobs})",
+                       done=len(ordered) - len(misses),
+                       total=len(ordered))
         if misses and self.jobs > 1:
             fresh, mode = self._run_pool(misses)
         elif misses:
@@ -335,7 +406,9 @@ class Runtime:
             outcomes=[outcomes[t.content_hash()] for t in ordered],
             manifest=manifest)
         if misses:
-            self._emit(manifest.summary())
+            self._emit("summary", manifest.summary(),
+                       elapsed=manifest.wall_time,
+                       done=len(ordered), total=len(ordered))
         return report
 
     def run_cells(self, tasks: Iterable[SimTask]) -> dict[SimTask, object]:

@@ -160,6 +160,24 @@ class SimTask:
         }
 
 
+def task_from_spec(spec: dict) -> SimTask:
+    """Rebuild a :class:`SimTask` from :meth:`SimTask.spec` output.
+
+    The spec always carries the resolved machine, so the rebuilt task
+    is machine-pinned — and hash-identical to the task that produced
+    the spec (``spec()`` resolves the machine before hashing).  The
+    service's job journal stores specs; this is the resume path."""
+    return SimTask(
+        workload=spec["workload"],
+        input_id=spec["input_id"],
+        scale=spec.get("scale", "small"),
+        variants=tuple(spec.get("variants", ("baseline", "tmu"))),
+        machine=machine_from_dict(spec["machine"])
+        if spec.get("machine") else None,
+        seed=spec.get("seed", 0),
+    )
+
+
 # --------------------------------------------------- record (de)serialization
 
 def system_result_to_dict(result: SystemResult) -> dict:

@@ -1,0 +1,69 @@
+"""``repro.serve`` — the asynchronous simulation job service.
+
+The piece that turns "reproduce a figure" into "serve traffic": a
+long-running HTTP service over :mod:`repro.runtime` that accepts
+*declarative* sweep submissions (workloads × inputs × machine
+configs, expanded server-side into content-hashed
+:class:`~repro.runtime.task.SimTask` cells), queues them with
+priorities and per-client quotas, executes them on a supervised
+worker pool, and serves results idempotently: identical sweeps map to
+the same content-addressed job, and completed cells are re-served
+from the result cache — a million identical submissions cost one
+simulation.
+
+The moving parts, one per module:
+
+* :mod:`~repro.serve.protocol` — the wire schema (``repro.serve/1``):
+  sweep specs, server-side expansion, content-addressed job ids;
+* :mod:`~repro.serve.jobs` — the job state machine (``PENDING →
+  RUNNING → DONE/FAILED/CANCELLED``) and the on-disk journal that
+  makes it resumable across server restarts;
+* :mod:`~repro.serve.queue` — priority queue with per-client quotas;
+* :mod:`~repro.serve.scheduler` — the supervised worker pool driving
+  batches through the runtime executor (timeout / retry / serial
+  fallback / worker-death requeue);
+* :mod:`~repro.serve.server` — ``SimService`` + the stdlib
+  ``ThreadingHTTPServer`` JSON API, including the chunked NDJSON
+  progress stream;
+* :mod:`~repro.serve.client` — a stdlib client (the CLI's
+  ``submit`` / ``jobs`` / ``fetch`` commands are built on it).
+"""
+
+from __future__ import annotations
+
+from .client import DEFAULT_URL, ServeClient, make_sweep
+from .jobs import Job, JobState, JobStore
+from .protocol import SERVE_SCHEMA, Submission, SweepSpec, job_id_for
+from .queue import DEFAULT_QUOTA, JobQueue, QuotaError
+from .scheduler import Scheduler
+from .server import (
+    DEFAULT_HOST,
+    DEFAULT_PORT,
+    DEFAULT_STATE_DIR,
+    ServeHTTPServer,
+    SimService,
+    make_server,
+)
+
+__all__ = [
+    "SERVE_SCHEMA",
+    "SweepSpec",
+    "Submission",
+    "job_id_for",
+    "Job",
+    "JobState",
+    "JobStore",
+    "JobQueue",
+    "QuotaError",
+    "DEFAULT_QUOTA",
+    "Scheduler",
+    "SimService",
+    "ServeHTTPServer",
+    "make_server",
+    "ServeClient",
+    "make_sweep",
+    "DEFAULT_URL",
+    "DEFAULT_HOST",
+    "DEFAULT_PORT",
+    "DEFAULT_STATE_DIR",
+]

@@ -27,6 +27,7 @@ def test_every_example_is_covered():
         "einsum_compiler.py",
         "outq_pipeline.py",
         "trace_spmv.py",
+        "submit_sweep.py",
     }
 
 

@@ -1,0 +1,137 @@
+"""End-to-end over a live server: real sockets, real worker pool.
+
+One module-scoped server on an ephemeral port backs the happy-path
+tests; the quota test builds its own (unstarted) service because it
+needs jobs that stay queued forever.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve import ServeClient, SimService, make_server, make_sweep
+
+
+@pytest.fixture(scope="module")
+def live(tmp_path_factory):
+    root = tmp_path_factory.mktemp("serve")
+    service = SimService(state_dir=root / "state",
+                         cache_dir=root / "cache", telemetry=True)
+    service.start()
+    server = make_server(service, port=0, quiet=True)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    port = server.server_address[1]
+    yield ServeClient(f"http://127.0.0.1:{port}")
+    server.shutdown()
+    service.stop()
+
+
+SWEEP = make_sweep(workloads=["spmv"], inputs=["M1", "M2"])
+
+
+class TestEndToEnd:
+    def test_healthz(self, live):
+        health = live.health()
+        assert health["ok"] is True
+        assert health["schema"] == "repro.serve/1"
+
+    def test_submit_wait_fetch(self, live):
+        job = live.submit(SWEEP, client="pytest")
+        assert job["_created"] is True
+
+        # results are refused until the job is terminal
+        if job["state"] in ("pending", "running"):
+            with pytest.raises(ServeError, match="409"):
+                live.result(job["id"])
+
+        job = live.wait(job["id"], timeout=120)
+        assert job["state"] == "done"
+        assert job["completed"] == job["total"] == 2
+
+        result = live.result(job["id"])
+        assert result["missing"] == 0
+        assert len(result["records"]) == 2
+        assert all(r is not None for r in result["records"].values())
+        # record keys are the content hashes of the cells
+        assert set(result["records"]) == set(job["cells"])
+
+    def test_resubmit_is_idempotent(self, live):
+        first = live.submit(SWEEP, client="pytest")
+        first = live.wait(first["id"], timeout=120)
+        # same cells, different phrasing: permuted inputs, other client
+        again = live.submit(
+            make_sweep(workloads=["spmv"], inputs=["M2", "M1"]),
+            client="someone-else")
+        assert again["_created"] is False
+        assert again["id"] == first["id"]
+        assert again["state"] == "done"
+
+    def test_events_poll_and_stream(self, live):
+        job = live.submit(SWEEP)
+        live.wait(job["id"], timeout=120)
+        polled = live.events(job["id"])
+        kinds = [e["event"] for e in polled["events"]]
+        assert kinds[0] in ("submitted", "resubmitted")
+        assert kinds[-1] == "done"
+        assert polled["next"] == len(kinds)
+        # paging: nothing new past the cursor
+        assert live.events(job["id"], since=polled["next"])["events"] \
+            == []
+        # the follow stream replays the journal and terminates on its
+        # own because the job is already terminal
+        streamed = list(live.stream_events(job["id"]))
+        assert [e["event"] for e in streamed] == kinds
+
+    def test_job_listing_and_stats(self, live):
+        job = live.submit(SWEEP)
+        live.wait(job["id"], timeout=120)
+        assert any(j["id"] == job["id"] for j in live.jobs())
+        stats = live.stats()
+        assert stats["jobs"].get("done", 0) >= 1
+        assert stats["telemetry"]["schema"] == "repro.obs/1"
+
+    def test_unknown_job_is_404(self, live):
+        with pytest.raises(ServeError, match="404"):
+            live.job("f" * 64)
+        with pytest.raises(ServeError, match="404"):
+            live.result("f" * 64)
+        with pytest.raises(ServeError, match="404"):
+            live.cancel("f" * 64)
+
+    def test_malformed_sweep_is_400(self, live):
+        with pytest.raises(ServeError, match="400"):
+            live.submit({"workloads": ["nope"]})
+        with pytest.raises(ServeError, match="400"):
+            live.submit(make_sweep(workloads=["spmv"],
+                                   inputs=["bogus"]))
+
+
+class TestQuotaOverHTTP:
+    def test_quota_exceeded_is_429_and_cancel_frees_it(self, tmp_path):
+        # workers never started: submissions stay PENDING and hold
+        # their quota slot
+        service = SimService(state_dir=tmp_path / "state", quota=1)
+        server = make_server(service, port=0, quiet=True)
+        thread = threading.Thread(target=server.serve_forever,
+                                  daemon=True)
+        thread.start()
+        client = ServeClient(
+            f"http://127.0.0.1:{server.server_address[1]}")
+        try:
+            held = client.submit(make_sweep(workloads=["spmv"],
+                                            inputs=["M1"]))
+            with pytest.raises(ServeError, match="429"):
+                client.submit(make_sweep(workloads=["spmv"],
+                                         inputs=["M2"]))
+            cancelled = client.cancel(held["id"])
+            assert cancelled["state"] == "cancelled"
+            # slot released: the second sweep is accepted now
+            other = client.submit(make_sweep(workloads=["spmv"],
+                                             inputs=["M2"]))
+            assert other["_created"] is True
+        finally:
+            server.shutdown()
