@@ -17,6 +17,10 @@ Usage::
     python -m repro submit --workloads spmv,spkadd --wait
     python -m repro jobs                         # list service jobs
     python -m repro fetch <job-id> --out results.json
+    python -m repro fig13 --store results.sqlite # auto-ingest the run
+    python -m repro ingest BENCH_*.json --store results.sqlite
+    python -m repro query cells-per-sec --by rev --store results.sqlite
+    python -m repro query regressions --bound 0.2 --store results.sqlite
     tmu-repro table6
 
 Simulation cells are executed through :mod:`repro.runtime`: results
@@ -39,6 +43,12 @@ report`` folds it into a per-component stall/cycle decomposition.
 (:mod:`repro.serve`); ``submit``, ``jobs`` and ``fetch`` talk to it
 over HTTP — submit a declarative sweep, watch its progress, fetch its
 content-addressed results.
+
+``--store PATH`` auto-ingests a run's manifests (and its telemetry
+snapshot / trace, when recorded) into the queryable experiment
+database (:mod:`repro.store`); ``ingest`` feeds it existing result
+files and ``query`` runs cross-run analytics over it — including the
+``regressions`` gate the ``store-smoke`` CI job exits on.
 """
 
 from __future__ import annotations
@@ -212,6 +222,15 @@ def _build_parser() -> argparse.ArgumentParser:
         help="keep every Nth instant/counter trace event (spans are "
              "always kept; default: 1 = everything)",
     )
+    parser.add_argument(
+        "--store",
+        default=None,
+        metavar="DB",
+        help="auto-ingest this run (manifests, and the --telemetry "
+             "snapshot / --trace timeline when recorded) into the "
+             "experiment database at DB; analyze it with "
+             "'tmu-repro query'",
+    )
     return parser
 
 
@@ -378,6 +397,189 @@ def _stats_main(argv: list[str]) -> int:
         return 0
 
 
+# ------------------------------------------------------------------- store
+
+def _build_ingest_parser() -> argparse.ArgumentParser:
+    from .store import DEFAULT_STORE_PATH
+
+    parser = argparse.ArgumentParser(
+        prog="tmu-repro ingest",
+        description="Ingest result files into the experiment database: "
+                    "run manifests, repro.obs snapshots (including "
+                    "BENCH_<rev>.json trajectory points), serve-job "
+                    "journals and repro.trace timelines.  Directories "
+                    "are walked for *.json; ingest is idempotent "
+                    "(content-addressed run keys).",
+    )
+    parser.add_argument("paths", nargs="+", metavar="PATH",
+                        help="result files or directories (e.g. "
+                             "BENCH_*.json, .repro-cache/manifests, "
+                             ".repro-serve/jobs)")
+    parser.add_argument("--store", default=DEFAULT_STORE_PATH,
+                        metavar="DB",
+                        help="experiment database (default: "
+                             f"{DEFAULT_STORE_PATH})")
+    parser.add_argument("--rev", default=None, metavar="REV",
+                        help="file sources missing a rev under this "
+                             "label (default: whatever the file "
+                             "carries)")
+    return parser
+
+
+def _build_query_parser() -> argparse.ArgumentParser:
+    from .store import DEFAULT_STORE_PATH, FORMATS, HEADLINE_METRIC
+
+    parser = argparse.ArgumentParser(
+        prog="tmu-repro query",
+        description="Cross-run analytics over the experiment database "
+                    "(see 'tmu-repro ingest').",
+    )
+    parser.add_argument("--store", default=DEFAULT_STORE_PATH,
+                        metavar="DB",
+                        help="experiment database (default: "
+                             f"{DEFAULT_STORE_PATH})")
+    parser.add_argument("--format", default="table", choices=FORMATS,
+                        help="output rendering (default: table)")
+    # the same flags are accepted after the subcommand too
+    # (SUPPRESS keeps the subparser from clobbering the defaults above)
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--store", default=argparse.SUPPRESS,
+                        metavar="DB", help=argparse.SUPPRESS)
+    common.add_argument("--format", default=argparse.SUPPRESS,
+                        choices=FORMATS, help=argparse.SUPPRESS)
+    sub = parser.add_subparsers(dest="action", required=True)
+
+    sub.add_parser("runs", parents=[common],
+                   help="every ingested run with its "
+                        "aggregate stats, oldest first")
+
+    cps = sub.add_parser(
+        "cells-per-sec", parents=[common],
+        help="the headline throughput metric across history")
+    cps.add_argument("--by", default="rev", choices=("rev", "run"),
+                     help="group by git rev or list every run "
+                          "(default: rev)")
+
+    metric = sub.add_parser(
+        "metric", parents=[common],
+        help="any snapshot metric across history")
+    metric.add_argument("name", help="dotted metric name (e.g. "
+                                     "sim.core.mlp)")
+    metric.add_argument("--by", default="rev", choices=("rev", "run"))
+
+    cells = sub.add_parser(
+        "cells", parents=[common],
+        help="per-workload cell outcome aggregates")
+    cells.add_argument("--workload", default=None, metavar="W",
+                       help="restrict to one workload")
+
+    stalls = sub.add_parser(
+        "stalls", parents=[common],
+        help="TMU merge-stall shares from ingested traces")
+    stalls.add_argument("--by", default="layer",
+                        choices=("layer", "rev", "workload"),
+                        help="group by TG layer, git rev, or the "
+                             "trace's workload filter (default: "
+                             "layer)")
+
+    reg = sub.add_parser(
+        "regressions", parents=[common],
+        help="gate every run's headline metric against a baseline "
+             "run; exits 1 when the latest run regressed beyond "
+             "--bound (the store-smoke CI gate)")
+    reg.add_argument("--metric", default=HEADLINE_METRIC, metavar="NAME",
+                     help=f"metric to gate on (default: "
+                          f"{HEADLINE_METRIC})")
+    reg.add_argument("--baseline", default=None, metavar="REV",
+                     help="baseline rev ('best' picks the best run; "
+                          "default: the oldest run)")
+    reg.add_argument("--bound", type=float, default=0.2, metavar="FRAC",
+                     help="tolerated regression fraction "
+                          "(default: 0.2 = 20%%)")
+    reg.add_argument("--lower-is-better", action="store_true",
+                     help="treat increases as regressions (cycle or "
+                          "byte counts rather than rates)")
+    return parser
+
+
+def _ingest_main(argv: list[str]) -> int:
+    from . import store as st
+
+    args = _build_ingest_parser().parse_args(argv)
+    try:
+        with st.ExperimentStore(args.store) as db:
+            results = st.ingest_paths(db, args.paths, rev=args.rev)
+            counts = db.counts()
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    created = sum(1 for r in results if r["created"])
+    by_kind: dict[str, int] = {}
+    for r in results:
+        by_kind[r["kind"]] = by_kind.get(r["kind"], 0) + 1
+    kinds = ", ".join(f"{n} {kind}" for kind, n in sorted(by_kind.items()))
+    print(f"ingest: {len(results)} sources ({created} new, "
+          f"{len(results) - created} already ingested"
+          + (f"; {kinds}" if kinds else "") + ")")
+    print(f"store: {args.store} — {counts['runs']} runs, "
+          f"{counts['cells']} cells, {counts['metrics']} metrics, "
+          f"{counts['trace_summaries']} trace summaries")
+    return 0
+
+
+def _query_main(argv: list[str]) -> int:
+    from . import store as st
+
+    args = _build_query_parser().parse_args(argv)
+    gate_ok = True
+    try:
+        with st.ExperimentStore(args.store) as db:
+            if args.action == "runs":
+                rows, columns = st.runs_overview(db)
+            elif args.action == "cells-per-sec":
+                rows, columns = st.cells_per_sec(db, by=args.by)
+            elif args.action == "metric":
+                rows, columns = st.metric_history(db, args.name,
+                                                  by=args.by)
+            elif args.action == "cells":
+                rows, columns = st.cell_outcomes(db, args.workload)
+            elif args.action == "stalls":
+                rows, columns = st.stall_shares(db, by=args.by)
+            else:  # regressions
+                rows, columns, gate_ok = st.regressions(
+                    db, metric=args.metric, baseline=args.baseline,
+                    bound=args.bound,
+                    lower_is_better=args.lower_is_better)
+            print(st.render_rows(rows, columns, args.format))
+            if args.action == "regressions" and args.format == "table":
+                latest = rows[-1]
+                if latest["status"] == "baseline":
+                    print(f"ok {args.metric}: latest run is the "
+                          f"baseline, nothing to gate")
+                elif latest["change"] is None:
+                    print(f"ok {args.metric}: baseline is 0, "
+                          f"nothing to gate")
+                else:
+                    verdict = "ok" if gate_ok else "REGRESSION"
+                    print(f"{verdict} {args.metric}: "
+                          f"latest={_fmt_cli(latest['value'])} "
+                          f"change={latest['change']:+.1%} vs baseline "
+                          f"(limit -{args.bound:.0%})")
+        return 0 if gate_ok else 1
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        sys.stderr.close()
+        return 0
+
+
+def _fmt_cli(value) -> str:
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:.6g}"
+    return str(value)
+
+
 # ------------------------------------------------------------------- serve
 
 def _build_serve_parser() -> argparse.ArgumentParser:
@@ -426,6 +628,9 @@ def _build_serve_parser() -> argparse.ArgumentParser:
                              "journal granularity; default: 8)")
     parser.add_argument("--no-telemetry", action="store_true",
                         help="skip the repro.obs service gauges")
+    parser.add_argument("--store", default=None, metavar="DB",
+                        help="auto-ingest every finished job's journal "
+                             "into the experiment database at DB")
     return parser
 
 
@@ -506,7 +711,8 @@ def _serve_main(argv: list[str]) -> int:
             jobs=args.jobs, workers=args.workers, quota=args.quota,
             timeout=args.timeout, retries=args.retries,
             batch_size=args.batch_size,
-            telemetry=not args.no_telemetry)
+            telemetry=not args.no_telemetry,
+            store_path=args.store)
         recovered = service.start()
         server = make_server(service, host=args.host, port=args.port)
     except (ReproError, OSError) as exc:
@@ -637,6 +843,7 @@ def _combined_manifest(rt: runtime.Runtime) -> RunManifest | None:
         created_at=rt.manifests[0].created_at,
         wall_time=sum(m.wall_time for m in rt.manifests),
         entries=[e for m in rt.manifests for e in m.entries],
+        rev=rt.manifests[0].rev,
     )
     return combined
 
@@ -663,6 +870,10 @@ def main(argv: list[str] | None = None) -> int:
         return _stats_main(argv[1:])
     if argv and argv[0] == "trace":
         return _trace_main(argv[1:])
+    if argv and argv[0] == "ingest":
+        return _ingest_main(argv[1:])
+    if argv and argv[0] == "query":
+        return _query_main(argv[1:])
     if argv and argv[0] in _SERVICE_COMMANDS:
         return _SERVICE_COMMANDS[argv[0]](argv[1:])
     args = _build_parser().parse_args(argv)
@@ -692,6 +903,7 @@ def main(argv: list[str] | None = None) -> int:
             timeout=args.timeout,
             retries=args.retries,
             progress=lambda msg: print(msg, file=sys.stderr),
+            store=args.store,
         )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -724,6 +936,7 @@ def main(argv: list[str] | None = None) -> int:
     finally:
         set_default_fast_cache(True)
 
+    snap = trace = None
     if args.telemetry is not None:
         snap = obs.snapshot(meta={
             "experiments": ",".join(names),
@@ -748,6 +961,25 @@ def main(argv: list[str] | None = None) -> int:
         print(f"trace: {path} ({len(trace['events'])} events, "
               f"{trace['ticks']} ticks, {trace['dropped']} dropped)",
               file=sys.stderr)
+
+    if args.store is not None and (snap is not None
+                                   or trace is not None):
+        # manifests were auto-ingested per batch by the runtime; the
+        # snapshot and trace ride in alongside them under the same rev.
+        from .runtime.manifest import manifest_rev
+        from .store import ExperimentStore, ingest_snapshot, ingest_trace
+
+        try:
+            with ExperimentStore(args.store) as db:
+                if snap is not None:
+                    ingest_snapshot(db, snap, source=args.telemetry)
+                if trace is not None:
+                    ingest_trace(db, trace, source=args.trace,
+                                 rev=manifest_rev())
+            print(f"store: ingested run into {args.store}",
+                  file=sys.stderr)
+        except ReproError as exc:
+            print(f"store ingest failed: {exc}", file=sys.stderr)
 
     manifest = _combined_manifest(rt)
     if manifest is not None:

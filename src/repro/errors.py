@@ -60,3 +60,9 @@ class ServeError(ReproError):
     """The simulation job service was driven with an invalid request
     (malformed sweep spec, unknown job, illegal state transition) or
     refused one (per-client quota exhausted)."""
+
+
+class StoreError(ReproError):
+    """The experiment database was opened with an incompatible schema
+    version, fed a source file it cannot ingest, or queried for
+    something it does not hold."""

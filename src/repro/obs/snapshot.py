@@ -155,9 +155,22 @@ def load_snapshot(path: str | Path) -> dict:
 
 
 def write_bench_snapshot(snap: dict, directory: str | Path = ".") -> Path:
-    """Append this run to the perf trajectory: ``BENCH_<rev>.json``."""
+    """Append this run to the perf trajectory: ``BENCH_<rev>.json``.
+
+    A rev can be benchmarked more than once (dirty tree, rerun at the
+    same commit); rather than silently overwrite the earlier point,
+    later runs land next to it as ``BENCH_<rev>-2.json``,
+    ``BENCH_<rev>-3.json``, …  so the whole trajectory stays
+    ingestable.
+    """
     rev = snap.get("meta", {}).get("rev") or bench_rev()
-    return write_snapshot(snap, Path(directory) / f"BENCH_{rev}.json")
+    directory = Path(directory)
+    path = directory / f"BENCH_{rev}.json"
+    serial = 1
+    while path.exists():
+        serial += 1
+        path = directory / f"BENCH_{rev}-{serial}.json"
+    return write_snapshot(snap, path)
 
 
 # ------------------------------------------------------------------- diff
@@ -180,6 +193,20 @@ _SCALAR_LABEL = {
     "histograms": "mean",
     "timers": "total_s",
 }
+
+
+def iter_metrics(snap: dict):
+    """Yield ``(name, kind, scalar)`` for every metric in a snapshot.
+
+    ``kind`` is the singular form (``counter`` / ``gauge`` / ...) and
+    ``scalar`` the same headline number diffs compare — the one shared
+    flattening used by ``stats diff`` and the experiment store's
+    ingest, so the two layers can never disagree on what a metric's
+    value *is*.
+    """
+    for kind in _BODY_KINDS:
+        for name, data in sorted(snap.get(kind, {}).items()):
+            yield name, kind[:-1], _scalar_of(kind, data)
 
 
 def diff_snapshots(a: dict, b: dict) -> list[dict]:

@@ -72,18 +72,22 @@ def configure(*, jobs: int = 1,
               cache_dir: str | Path | None = None,
               timeout: float | None = None, retries: int = 1,
               progress: Callable[[ProgressEvent], None] | None = None,
+              store: str | Path | None = None,
               ) -> Runtime:
     """Install (and return) the process-wide runtime.
 
     ``cache_dir=None`` disables the on-disk cache (results still
     benefit from the library's in-process memoization when running
-    serially).
+    serially).  ``store`` names an experiment database
+    (:mod:`repro.store`); every batch's manifest is auto-ingested
+    into it.
     """
     global _active
     cache = ResultCache(Path(cache_dir)) if cache_dir is not None \
         else NullCache()
     _active = Runtime(jobs=jobs, cache=cache, timeout=timeout,
-                      retries=retries, progress=progress)
+                      retries=retries, progress=progress,
+                      store=None if store is None else str(store))
     return _active
 
 

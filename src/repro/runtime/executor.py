@@ -30,9 +30,9 @@ from typing import Callable, Iterable, Sequence
 __all__ = ["ProgressEvent", "TaskOutcome", "RunReport", "Runtime"]
 
 from .. import obs
-from ..errors import ExecutorError
+from ..errors import ExecutorError, StoreError
 from .cache import NullCache, ResultCache
-from .manifest import ManifestEntry, RunManifest
+from .manifest import ManifestEntry, RunManifest, manifest_rev
 from .task import SimTask, run_from_record
 
 
@@ -74,8 +74,9 @@ class ProgressEvent:
     ``kind`` is one of ``"batch"`` (a batch was accepted: ``done`` of
     ``total`` cells came from cache), ``"cell"`` (one cell finished,
     ``state`` is ``"simulated"`` or ``"failed"``), ``"pool"`` (an
-    executor mode change: pool unavailable / broke, serial fallback)
-    or ``"summary"`` (the batch's manifest summary).
+    executor mode change: pool unavailable / broke, serial fallback),
+    ``"store"`` (an experiment-store auto-ingest warning) or
+    ``"summary"`` (the batch's manifest summary).
     """
 
     kind: str
@@ -152,6 +153,7 @@ class Runtime:
                  timeout: float | None = None, retries: int = 1,
                  backoff: float = 0.25,
                  progress: Callable[[ProgressEvent], None] | None = None,
+                 store: "str | None" = None,
                  ) -> None:
         if jobs < 1:
             raise ExecutorError(f"jobs must be >= 1, got {jobs}")
@@ -163,6 +165,7 @@ class Runtime:
         self.retries = retries
         self.backoff = backoff
         self.progress = progress
+        self.store_path = store
         self.last_manifest: RunManifest | None = None
         self.manifests: list[RunManifest] = []
 
@@ -381,7 +384,7 @@ class Runtime:
         ]
         manifest = RunManifest(jobs=self.jobs, mode=mode,
                                wall_time=time.perf_counter() - start,
-                               entries=entries)
+                               entries=entries, rev=manifest_rev())
         if obs.enabled():
             simulated = sum(1 for o in fresh if o.ok)
             view = obs.active().prefixed("runtime.executor")
@@ -402,6 +405,7 @@ class Runtime:
                 view.gauge("cells_per_sec").set(sim_total / timer.total)
         self.last_manifest = manifest
         self.manifests.append(manifest)
+        self._ingest_manifest(manifest)
         report = RunReport(
             outcomes=[outcomes[t.content_hash()] for t in ordered],
             manifest=manifest)
@@ -410,6 +414,22 @@ class Runtime:
                        elapsed=manifest.wall_time,
                        done=len(ordered), total=len(ordered))
         return report
+
+    def _ingest_manifest(self, manifest: RunManifest) -> None:
+        """Auto-ingest this batch's manifest into the experiment store
+        when one is configured (the CLI's ``--store`` flag).  A broken
+        store degrades to a progress warning — analytics must never
+        fail a sweep."""
+        if self.store_path is None:
+            return
+        from ..store import ExperimentStore, ingest_manifest
+
+        try:
+            with ExperimentStore(self.store_path) as store:
+                ingest_manifest(store, manifest,
+                                source="runtime.executor")
+        except StoreError as exc:
+            self._emit("store", f"store ingest failed: {exc}")
 
     def run_cells(self, tasks: Iterable[SimTask]) -> dict[SimTask, object]:
         """Run a batch and return ``{task: WorkloadRun}``; raises

@@ -11,9 +11,21 @@ from __future__ import annotations
 import json
 import time
 from dataclasses import asdict, dataclass, field
+from functools import lru_cache
 from pathlib import Path
 
 MANIFEST_SCHEMA_VERSION = 1
+
+
+@lru_cache(maxsize=1)
+def manifest_rev() -> str:
+    """The git rev label runs are filed under (``-dirty``-suffixed for
+    modified worktrees), resolved once per process — manifests are
+    created per executor batch and must not shell out to git each
+    time."""
+    from ..obs.snapshot import bench_rev
+
+    return bench_rev()
 
 
 @dataclass
@@ -45,6 +57,7 @@ class RunManifest:
     wall_time: float = 0.0
     entries: list[ManifestEntry] = field(default_factory=list)
     schema: int = MANIFEST_SCHEMA_VERSION
+    rev: str | None = None          # git rev the run executed at
 
     # ------------------------------------------------------------- derived
 
@@ -95,10 +108,13 @@ class RunManifest:
         return path
 
     @classmethod
-    def load(cls, path: Path | str) -> "RunManifest":
-        data = json.loads(Path(path).read_text(encoding="utf-8"))
+    def load_dict(cls, data: dict) -> "RunManifest":
+        """Rebuild a manifest from :meth:`to_dict` output (what the
+        experiment store's ingest layer consumes)."""
         entries = [
-            ManifestEntry(**{k: v for k, v in e.items()})
+            ManifestEntry(**{
+                k: v for k, v in e.items()
+                if k in ManifestEntry.__dataclass_fields__})
             for e in data.get("entries", ())
         ]
         return cls(
@@ -108,7 +124,13 @@ class RunManifest:
             wall_time=data.get("wall_time", 0.0),
             entries=entries,
             schema=data.get("schema", MANIFEST_SCHEMA_VERSION),
+            rev=data.get("rev"),
         )
+
+    @classmethod
+    def load(cls, path: Path | str) -> "RunManifest":
+        return cls.load_dict(
+            json.loads(Path(path).read_text(encoding="utf-8")))
 
     def summary(self) -> str:
         """One-paragraph human report for the CLI / logs."""

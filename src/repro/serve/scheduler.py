@@ -54,6 +54,7 @@ class Scheduler:
                  batch_size: int = DEFAULT_BATCH_SIZE,
                  max_requeues: int = 1,
                  runtime_factory: Callable[..., Runtime] | None = None,
+                 store_path: str | None = None,
                  ) -> None:
         if workers < 1:
             raise ServeError(f"workers must be >= 1, got {workers}")
@@ -66,6 +67,7 @@ class Scheduler:
         self.retries = retries
         self.batch_size = max(1, batch_size)
         self.max_requeues = max_requeues
+        self.store_path = store_path
         self._runtime_factory = runtime_factory or self._make_runtime
         self._stop = threading.Event()
         self._lock = threading.RLock()
@@ -309,6 +311,7 @@ class Scheduler:
                 "completed": job.completed, "cached": job.cached,
                 "simulated": job.simulated, "failed": job.failed,
             })
+        self._ingest_finished(job)
 
     def _finish_cancelled(self, job: Job) -> None:
         with self._lock:
@@ -321,6 +324,26 @@ class Scheduler:
                 "message": f"while running; {job.completed}/"
                            f"{job.total} cells done",
             })
+
+    def _ingest_finished(self, job: Job) -> None:
+        """Auto-ingest a finished job's journal into the experiment
+        database when one is configured (``repro serve --store``).
+        Ingest failures are journaled as events, never raised — the
+        analytics layer must not take a job down with it."""
+        if self.store_path is None:
+            return
+        from ..errors import StoreError
+        from ..store import ExperimentStore, ingest_job
+
+        try:
+            with ExperimentStore(self.store_path) as store:
+                ingest_job(store, job.as_dict(),
+                           events=self.store.events(job.id),
+                           source=f"serve:{job.id[:12]}")
+        except StoreError as exc:
+            self.store.append_event(job.id, {
+                "event": "store-error",
+                "message": f"store ingest failed: {exc}"})
 
     # ---------------------------------------------------------- telemetry
 

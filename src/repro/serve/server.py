@@ -46,7 +46,8 @@ class SimService:
                  quota: int = DEFAULT_QUOTA,
                  timeout: float | None = None, retries: int = 1,
                  batch_size: int | None = None,
-                 telemetry: bool = False) -> None:
+                 telemetry: bool = False,
+                 store_path: str | Path | None = None) -> None:
         self.state_dir = Path(state_dir)
         self.store = JobStore(self.state_dir / "jobs")
         self.queue = JobQueue(quota=quota)
@@ -56,7 +57,9 @@ class SimService:
             "batch_size": batch_size}
         self.scheduler = Scheduler(
             self.store, self.queue, cache=self.cache, jobs=jobs,
-            workers=workers, timeout=timeout, retries=retries, **kwargs)
+            workers=workers, timeout=timeout, retries=retries,
+            store_path=None if store_path is None else str(store_path),
+            **kwargs)
         self.telemetry = telemetry
 
     def start(self) -> int:

@@ -1,0 +1,137 @@
+"""The experiment database schema: ``repro.store/1``.
+
+One SQLite file holds the project's whole result history in five
+normalized tables:
+
+* ``runs`` — one row per ingested source (an executor manifest, a
+  ``repro.obs/1`` telemetry snapshot, a ``BENCH_<rev>.json``
+  trajectory point, a serve-job journal, a ``repro.trace/1``
+  timeline), keyed by a content-addressed ``run_key`` so ingest is
+  idempotent: re-ingesting the same bytes is a no-op.
+* ``cells`` — per-cell outcomes (task hash, workload, cache hit,
+  wall time, attempts, error), from manifests and job journals.
+* ``run_stats`` — one aggregate row per run: cell counts by outcome,
+  wall time, cells/sec — the ``RunStats`` of a run regardless of
+  which source shape it arrived in.
+* ``metrics`` — the flattened telemetry metrics of snapshot-bearing
+  runs (one scalar per dotted metric name, same flattening as
+  ``stats diff``).
+* ``trace_summaries`` — the end-of-run summary spans of ingested
+  traces (per-layer iterations/merge-steps/stalls, arbiter and outQ
+  totals), the substrate of ``repro query stalls``.
+
+The ``store_meta`` table pins the schema version; opening a store
+written by a future ``repro.store/2`` raises
+:class:`~repro.errors.StoreError` instead of misreading it.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from pathlib import Path
+
+from ..errors import StoreError
+
+#: bump on any breaking change to the table layout
+STORE_SCHEMA = "repro.store/1"
+
+#: the source shapes a run row may have been ingested from
+RUN_KINDS = ("manifest", "snapshot", "bench", "serve-job", "trace")
+
+_DDL = """
+CREATE TABLE IF NOT EXISTS store_meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS runs (
+    id           INTEGER PRIMARY KEY,
+    run_key      TEXT NOT NULL UNIQUE,
+    kind         TEXT NOT NULL,
+    rev          TEXT,
+    created_unix REAL,
+    source       TEXT,
+    meta         TEXT NOT NULL DEFAULT '{}'
+);
+CREATE INDEX IF NOT EXISTS runs_rev ON runs (rev);
+CREATE INDEX IF NOT EXISTS runs_created ON runs (created_unix);
+CREATE TABLE IF NOT EXISTS cells (
+    run_id    INTEGER NOT NULL REFERENCES runs (id) ON DELETE CASCADE,
+    task_hash TEXT NOT NULL,
+    workload  TEXT,
+    input_id  TEXT,
+    scale     TEXT,
+    variants  TEXT,
+    cached    INTEGER NOT NULL DEFAULT 0,
+    wall_time REAL NOT NULL DEFAULT 0.0,
+    attempts  INTEGER NOT NULL DEFAULT 0,
+    error     TEXT,
+    UNIQUE (run_id, task_hash)
+);
+CREATE INDEX IF NOT EXISTS cells_workload ON cells (workload);
+CREATE INDEX IF NOT EXISTS cells_hash ON cells (task_hash);
+CREATE TABLE IF NOT EXISTS run_stats (
+    run_id        INTEGER PRIMARY KEY REFERENCES runs (id)
+                  ON DELETE CASCADE,
+    cells         INTEGER NOT NULL DEFAULT 0,
+    cached        INTEGER NOT NULL DEFAULT 0,
+    simulated     INTEGER NOT NULL DEFAULT 0,
+    failed        INTEGER NOT NULL DEFAULT 0,
+    wall_time     REAL NOT NULL DEFAULT 0.0,
+    cells_per_sec REAL
+);
+CREATE TABLE IF NOT EXISTS metrics (
+    run_id INTEGER NOT NULL REFERENCES runs (id) ON DELETE CASCADE,
+    name   TEXT NOT NULL,
+    kind   TEXT NOT NULL,
+    value  REAL NOT NULL,
+    UNIQUE (run_id, name)
+);
+CREATE INDEX IF NOT EXISTS metrics_name ON metrics (name);
+CREATE TABLE IF NOT EXISTS trace_summaries (
+    run_id INTEGER NOT NULL REFERENCES runs (id) ON DELETE CASCADE,
+    track  TEXT NOT NULL,
+    name   TEXT NOT NULL,
+    args   TEXT NOT NULL DEFAULT '{}',
+    UNIQUE (run_id, track, name)
+);
+"""
+
+
+def open_db(path: str | Path) -> sqlite3.Connection:
+    """Open (creating if needed) the experiment database at ``path``.
+
+    A fresh file gets the ``repro.store/1`` tables; an existing file's
+    pinned schema version is checked first, so a database written by a
+    newer layout fails loudly instead of being half-read.
+    """
+    path = Path(path)
+    if path.parent != Path(""):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    try:
+        con = sqlite3.connect(path, timeout=30.0)
+    except sqlite3.Error as exc:
+        raise StoreError(f"cannot open store {path}: {exc}") from exc
+    con.row_factory = sqlite3.Row
+    try:
+        existing = con.execute(
+            "SELECT value FROM store_meta WHERE key = 'schema'"
+        ).fetchone()
+    except sqlite3.OperationalError:
+        existing = None          # fresh database: no tables yet
+    except sqlite3.DatabaseError:
+        con.close()
+        raise StoreError(
+            f"{path} is not an experiment store (not an SQLite "
+            f"database, or corrupted)") from None
+    if existing is not None and existing["value"] != STORE_SCHEMA:
+        found = existing["value"]
+        con.close()
+        raise StoreError(
+            f"store {path} uses schema {found!r}; this build reads "
+            f"{STORE_SCHEMA!r} — refusing to touch it")
+    with con:
+        con.executescript(_DDL)
+        con.execute(
+            "INSERT OR IGNORE INTO store_meta (key, value) "
+            "VALUES ('schema', ?)", (STORE_SCHEMA,))
+    return con

@@ -28,6 +28,7 @@ def test_every_example_is_covered():
         "outq_pipeline.py",
         "trace_spmv.py",
         "submit_sweep.py",
+        "query_trajectory.py",
     }
 
 

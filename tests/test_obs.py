@@ -419,3 +419,17 @@ class TestBenchRev:
         snap["meta"].pop("rev", None)
         path = write_bench_snapshot(snap, tmp_path)
         assert path.name == "BENCH_unknown.json"
+
+    def test_rerun_at_same_rev_suffixes_instead_of_overwriting(
+            self, monkeypatch, tmp_path):
+        self._fake_git(monkeypatch)
+        names = []
+        for _ in range(3):
+            reg = Registry()
+            reg.counter("x").add()
+            names.append(write_bench_snapshot(
+                make_snapshot(reg), tmp_path).name)
+        assert names == ["BENCH_abc1234.json", "BENCH_abc1234-2.json",
+                         "BENCH_abc1234-3.json"]
+        # the first point survived untouched
+        assert len(list(tmp_path.glob("BENCH_*.json"))) == 3
