@@ -1,0 +1,46 @@
+"""Layer-step microbench: SoA lane engine vs the scalar reference loop.
+
+Times one long-fiber SpMV program end to end through ``TmuEngine.run``
+under both engines and gates the ratio.  Long fibers are where the
+structure-of-arrays rewrite pays: the per-element interpreter dispatch
+of the scalar loop is replaced by one vectorized pass per activation.
+
+A fresh program and engine are built for every repetition — traversal
+units accumulate iteration counters across runs, so reusing a program
+would replay warm state and corrupt the timing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.generators import uniform_random_matrix
+from repro.programs import build_spmv_program
+from repro.tmu import TmuEngine
+
+
+def _built():
+    matrix = uniform_random_matrix(64, 4096, 1024, seed=3)
+    vector = np.random.default_rng(0).random(matrix.num_cols)
+    return build_spmv_program(matrix, vector, lanes=4)
+
+
+def _run(fast: bool) -> float:
+    built = _built()
+    engine = TmuEngine(built.program, fast=fast)
+    engine.run(built.handlers)
+    return built.result()
+
+
+class TestFastlaneLayerStep:
+    def test_soa_vs_scalar_layer_loop(self, best_of, micro_baselines):
+        """46 dense-ish fibers of ~1024 elements each, four lanes."""
+        ratio = best_of(lambda: _run(False), 3) / best_of(
+            lambda: _run(True), 3)
+        floor = micro_baselines["fastlane_layer_step_min_ratio"]
+        assert ratio >= floor, (
+            f"SoA lane-engine speedup regressed: {ratio:.2f}x < {floor}x")
+
+    def test_results_match(self):
+        """Both engines must compute the identical SpMV output."""
+        np.testing.assert_allclose(_run(True), _run(False))

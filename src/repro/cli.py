@@ -61,7 +61,7 @@ import time
 from pathlib import Path
 
 from . import obs, runtime
-from .config import set_default_fast_cache
+from .config import set_default_fast
 from .errors import ReproError
 from .eval import experiments as ex
 from .runtime.manifest import RunManifest
@@ -153,17 +153,19 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_const",
         const="fast",
         default="fast",
-        help="simulate caches with the vectorized model (default)",
+        help="simulate with the vectorized cache model and the "
+             "structure-of-arrays TMU lane engine (default)",
     )
     cache_model.add_argument(
         "--reference",
         dest="cache_model",
         action="store_const",
         const="reference",
-        help="simulate caches with the golden-reference model (slow; "
-             "bit-for-bit hit/miss-equivalent to --fast).  The choice "
-             "is part of each cell's content hash, so cached results "
-             "from the two models never collide",
+        help="simulate with the golden-reference models (slow; "
+             "bit-for-bit equivalent to --fast: same cache hit masks, "
+             "same outQ records and RunStats).  The choice is part of "
+             "each cell's content hash, so cached results from the two "
+             "model families never collide",
     )
     parser.add_argument(
         "--timeout",
@@ -916,10 +918,10 @@ def main(argv: list[str] | None = None) -> int:
 
     names = sorted(_COMMANDS) if args.experiment == "all" else [
         args.experiment]
-    # Cache-model selection applies to every machine the drivers build;
-    # restored afterwards so embedded callers (tests, notebooks) see the
-    # default again.
-    set_default_fast_cache(args.cache_model != "reference")
+    # Model selection (cache model + TMU engine) applies to every
+    # machine the drivers build; restored afterwards so embedded callers
+    # (tests, notebooks) see the default again.
+    set_default_fast(args.cache_model != "reference")
     try:
         for name in names:
             rendered = _COMMANDS[name](args.scale, workloads)
@@ -934,7 +936,7 @@ def main(argv: list[str] | None = None) -> int:
         obs.disable_tracing()
         return 1
     finally:
-        set_default_fast_cache(True)
+        set_default_fast(True)
 
     snap = trace = None
     if args.telemetry is not None:

@@ -138,6 +138,12 @@ class MachineConfig:
     #: the machine's identity, so cached experiment results from the two
     #: models never collide.
     fast_cache: bool = True
+    #: TMU-engine selection: True runs the structure-of-arrays lane
+    #: engine (:mod:`repro.tmu.fastlane`), False the scalar golden
+    #: reference loop.  Like ``fast_cache`` it is part of the machine's
+    #: identity and therefore of every task's content hash, which is
+    #: what carries the choice into pool workers.
+    fast_engine: bool = True
 
     def with_tmu(self, **kwargs) -> "MachineConfig":
         """Return a copy with TMU parameters replaced."""
@@ -171,6 +177,10 @@ class MachineConfig:
 #: through each experiment.
 _DEFAULT_FAST_CACHE = True
 
+#: process-wide default for :attr:`MachineConfig.fast_engine`; flipped
+#: together with the cache model by the CLI's ``--reference`` flag.
+_DEFAULT_FAST_ENGINE = True
+
 
 def set_default_fast_cache(fast: bool) -> None:
     """Select the cache model machines are built with by default."""
@@ -182,9 +192,27 @@ def default_fast_cache() -> bool:
     return _DEFAULT_FAST_CACHE
 
 
+def set_default_fast_engine(fast: bool) -> None:
+    """Select the TMU engine machines are built with by default."""
+    global _DEFAULT_FAST_ENGINE
+    _DEFAULT_FAST_ENGINE = bool(fast)
+
+
+def default_fast_engine() -> bool:
+    return _DEFAULT_FAST_ENGINE
+
+
+def set_default_fast(fast: bool) -> None:
+    """Flip every fast/reference model pair at once (the CLI's
+    ``--fast``/``--reference`` switch)."""
+    set_default_fast_cache(fast)
+    set_default_fast_engine(fast)
+
+
 def default_machine() -> MachineConfig:
     """The evaluated system of Table 5."""
-    return MachineConfig(fast_cache=_DEFAULT_FAST_CACHE)
+    return MachineConfig(fast_cache=_DEFAULT_FAST_CACHE,
+                         fast_engine=_DEFAULT_FAST_ENGINE)
 
 
 def _scale_cache(cache: CacheConfig, divisor: int) -> CacheConfig:
@@ -263,6 +291,7 @@ def a64fx_like() -> MachineConfig:
         memory=MemoryConfig(channels=32, channel_gbps=32.0, latency_cycles=140),
         noc=NocConfig(mesh_x=6, mesh_y=8),
         fast_cache=_DEFAULT_FAST_CACHE,
+        fast_engine=_DEFAULT_FAST_ENGINE,
     )
 
 
@@ -291,4 +320,5 @@ def graviton3_like() -> MachineConfig:
         memory=MemoryConfig(channels=8, channel_gbps=37.5, latency_cycles=120),
         noc=NocConfig(mesh_x=8, mesh_y=8),
         fast_cache=_DEFAULT_FAST_CACHE,
+        fast_engine=_DEFAULT_FAST_ENGINE,
     )

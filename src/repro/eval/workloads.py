@@ -231,10 +231,18 @@ class WorkloadRun:
         return self.baseline.cycles / self.tmu.cycles if self.tmu else 0.0
 
 
+@lru_cache(maxsize=None)
+def _load_order3(input_id: str, scale: str):
+    # Folding an order-n tensor builds a fresh object; memoizing here
+    # keeps input identity stable across cells, which the
+    # ``_identity_memo`` derived-operand caches above key on.
+    return as_order3(load_tensor(input_id, scale))
+
+
 def _load_input(spec: Workload, input_id: str, scale: str):
     if spec.input_kind == "matrix":
         return load_matrix(input_id, scale)
-    return as_order3(load_tensor(input_id, scale))
+    return _load_order3(input_id, scale)
 
 
 @lru_cache(maxsize=None)

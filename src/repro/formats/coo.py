@@ -37,10 +37,16 @@ class CooTensor:
     sum_duplicates:
         When true (default), coordinates appearing multiple times are
         collapsed by summing their values, as tensor assembly requires.
+    assume_sorted:
+        When true the caller guarantees the coordinates are already in
+        lexicographic order and the construction-time sort is skipped.
+        Filtering an already-sorted tensor preserves the invariant, so
+        splitters can rebuild parts without paying a re-sort.
     """
 
     def __init__(self, shape: Sequence[int], coords, values, *,
-                 sum_duplicates: bool = True) -> None:
+                 sum_duplicates: bool = True,
+                 assume_sorted: bool = False) -> None:
         self.shape = tuple(int(s) for s in shape)
         if any(s < 0 for s in self.shape):
             raise FormatError("tensor dimensions must be non-negative")
@@ -60,7 +66,8 @@ class CooTensor:
                     f"(extent {self.shape[dim]})"
                 )
         if values.size:
-            coords, values = _lexsort_coords(coords, values)
+            if not assume_sorted:
+                coords, values = _lexsort_coords(coords, values)
             if sum_duplicates:
                 coords, values = self._sum_duplicates(coords, values)
         self.coords = coords
@@ -118,11 +125,13 @@ class CooTensor:
 class CooMatrix(CooTensor):
     """An order-2 :class:`CooTensor` with row/col conveniences."""
 
-    def __init__(self, shape, rows, cols, values, *, sum_duplicates=True):
+    def __init__(self, shape, rows, cols, values, *, sum_duplicates=True,
+                 assume_sorted=False):
         if len(shape) != 2:
             raise FormatError("CooMatrix is strictly order-2")
         super().__init__(shape, [rows, cols], values,
-                         sum_duplicates=sum_duplicates)
+                         sum_duplicates=sum_duplicates,
+                         assume_sorted=assume_sorted)
 
     @property
     def rows(self) -> np.ndarray:

@@ -101,19 +101,13 @@ class CsrMatrix:
         t_ptrs = np.zeros(cols + 1, dtype=self.ptrs.dtype)
         np.add.at(t_ptrs, self.idxs + 1, 1)
         np.cumsum(t_ptrs, out=t_ptrs)
-        t_idxs = np.empty_like(self.idxs)
-        t_vals = np.empty_like(self.vals)
-        fill = t_ptrs[:-1].copy()
         row_of = np.repeat(np.arange(rows, dtype=self.idxs.dtype),
                            np.diff(self.ptrs))
-        # Stable placement keeps per-row column order sorted.
-        for pos in range(self.nnz):
-            col = self.idxs[pos]
-            dst = fill[col]
-            t_idxs[dst] = row_of[pos]
-            t_vals[dst] = self.vals[pos]
-            fill[col] += 1
-        return CsrMatrix((cols, rows), t_ptrs, t_idxs, t_vals, validate=False)
+        # Stable grouping by column keeps per-row order, i.e. the
+        # transposed rows come out with sorted column indexes.
+        order = np.argsort(self.idxs, kind="stable")
+        return CsrMatrix((cols, rows), t_ptrs, row_of[order],
+                         self.vals[order], validate=False)
 
     def to_dense(self) -> np.ndarray:
         dense = np.zeros(self.shape, dtype=self.vals.dtype)

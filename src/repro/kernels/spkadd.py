@@ -34,8 +34,11 @@ def split_rows_cyclic(a: CsrMatrix, k: int) -> list[DcsrMatrix]:
     for x in range(k):
         pick = (coo.rows % k) == x
         rows = coo.rows[pick] // k
+        # Filtering a lexsorted COO preserves lexsorted order (i*k+x is
+        # monotone in i for a fixed residue x), so skip the re-sort.
         part = CooMatrix((out_rows, a.num_cols), rows, coo.cols[pick],
-                         coo.values[pick], sum_duplicates=False)
+                         coo.values[pick], sum_duplicates=False,
+                         assume_sorted=True)
         outputs.append(coo_to_dcsr(part))
     return outputs
 

@@ -37,6 +37,31 @@ def _build_b_lookup(b: CsfTensor) -> dict[tuple[int, int], int]:
     return lookup
 
 
+def match_b_fibers(b: CsfTensor, l_coords: np.ndarray,
+                   k_coords: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized ``_build_b_lookup`` probe: for each query ``(l, k)``
+    pair, the B level-1 node holding that fiber (undefined where not
+    found) and a found mask.
+
+    CSF coordinate order makes the packed ``l * K + k`` keys of B's
+    level-1 nodes globally sorted (root coordinates ascend, and each
+    root's k fiber ascends), so one ``searchsorted`` answers every
+    probe at once.
+    """
+    if b.idxs[1].size == 0:
+        zeros = np.zeros(l_coords.shape, dtype=np.int64)
+        return zeros, np.zeros(l_coords.shape, dtype=bool)
+    k_extent = int(b.idxs[1].max()) + 1
+    l_of_k = np.repeat(b.idxs[0], np.diff(b.ptrs[1]))
+    b_keys = l_of_k * k_extent + b.idxs[1]
+    in_range = k_coords < k_extent
+    keys = l_coords * k_extent + np.minimum(k_coords, k_extent - 1)
+    pos = np.searchsorted(b_keys, keys)
+    hit = in_range & (pos < b_keys.size)
+    hit[hit] = b_keys[pos[hit]] == keys[hit]
+    return pos, hit
+
+
 def sptc_symbolic(a: CsfTensor, b: CsfTensor) -> np.ndarray:
     """Symbolic phase: per-``i`` output non-zero counts of
     ``Z_ij = A_ikl B_lkj``."""
@@ -98,28 +123,21 @@ def characterize_sptc(a: CsfTensor, b: CsfTensor,
     work in the symbolic phase (cf. Figure 12's note that SpTC is
     excluded from the flops roofline).
     """
-    lookup = _build_b_lookup(b)
-    matches = 0
-    j_scanned = 0
-    for k_node in range(a.idxs[1].size):
-        k = int(a.idxs[1][k_node])
-        lb, le = int(a.ptrs[2][k_node]), int(a.ptrs[2][k_node + 1])
-        for l_node in range(lb, le):
-            match = lookup.get((int(a.idxs[2][l_node]), k))
-            if match is not None:
-                matches += 1
-                j_scanned += int(b.ptrs[2][match + 1]
-                                 - b.ptrs[2][match])
+    k_of_leaf = np.repeat(a.idxs[1], np.diff(a.ptrs[2]))
+    pos, hit = match_b_fibers(b, a.idxs[2], k_of_leaf)
+    matches = int(hit.sum())
+    j_scanned = int((b.ptrs[2][pos[hit] + 1] - b.ptrs[2][pos[hit]]).sum())
+    directory_size = int(b.idxs[1].size)
 
     space = AddressSpace()
     nnz_a = a.nnz
     a_idx_base = space.place(nnz_a * INDEX_BYTES)
-    b_dir_base = space.place(len(lookup) * 2 * INDEX_BYTES)
+    b_dir_base = space.place(directory_size * 2 * INDEX_BYTES)
     b_j_base = space.place(b.nnz * INDEX_BYTES)
     out_base = space.place(max(1, matches) * INDEX_BYTES)
 
     rng = np.random.default_rng(7)
-    dir_probe = rng.integers(0, max(1, len(lookup)),
+    dir_probe = rng.integers(0, max(1, directory_size),
                              size=nnz_a) * 2 * INDEX_BYTES
     j_scan_idx = np.arange(j_scanned, dtype=np.int64) % max(1, b.nnz)
 

@@ -83,9 +83,9 @@ def characterize_triangle(l: CsrMatrix,
     op = CsrOperand(space, l)
     # Row i's list is re-scanned per edge; row j's list is a dependent
     # lookup.  Sample re-scan positions per edge.
-    from .common import gather_scan_positions
+    from .spmspm import scan_arrays
 
-    scan_positions = gather_scan_positions(l.ptrs, l.idxs)
+    scan_positions, _ = scan_arrays(l, l)
 
     streams = [
         AccessStream(op.ptr_addresses(), INDEX_BYTES, "read", "L ptrs"),

@@ -142,9 +142,9 @@ def spmspm_timing_model(a: CsrMatrix, b: CsrMatrix,
     streams.append(AccessStream(
         b_ptr_base + a.idxs * INDEX_BYTES, INDEX_BYTES, "read",
         "B ptrs lookup", dependent=True))
-    from ..kernels.common import gather_scan_positions
+    from ..kernels.spmspm import scan_arrays
 
-    scan_positions = gather_scan_positions(b.ptrs, a.idxs)
+    scan_positions, _ = scan_arrays(a, b)
     streams.append(AccessStream(
         b_idx_base + scan_positions * INDEX_BYTES, INDEX_BYTES, "read",
         "B idxs scan", dependent=True))

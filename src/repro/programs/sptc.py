@@ -19,6 +19,7 @@ import numpy as np
 from ..config import MachineConfig
 from ..errors import WorkloadError
 from ..formats.csf import CsfTensor
+from ..kernels.sptc import match_b_fibers
 from ..sim.machine import TmuWorkloadModel
 from ..sim.trace import AccessStream, AddressSpace, KernelTrace
 from ..tmu.program import Event, LayerMode, Program, ScalarOperand
@@ -146,32 +147,23 @@ def sptc_timing_model(a: CsfTensor, b: CsfTensor,
     """
     # Per A leaf (k, l): probe the dense l-index, then walk half of
     # B_l's k-fiber on average; on a k match, stream the j fiber.
-    l_fiber_beg = b.ptrs[1][:-1]
-    l_fiber_end = b.ptrs[1][1:]
-    l_lookup = {int(c): n for n, c in enumerate(b.idxs[0])}
-    k_lookup = {}
-    for l_node in range(b.idxs[0].size):
-        l_coord = int(b.idxs[0][l_node])
-        for k_node in range(int(l_fiber_beg[l_node]),
-                            int(l_fiber_end[l_node])):
-            k_lookup[(l_coord, int(b.idxs[1][k_node]))] = k_node
-
+    # All three tallies vectorize: the l probes are one searchsorted
+    # against B's (sorted) root coordinates, and the (l, k) matches use
+    # the shared packed-key probe.
+    num_l = int(b.idxs[0].size)
     k_of_leaf = np.repeat(a.idxs[1], np.diff(a.ptrs[2]))
-    matches = 0
-    j_scanned = 0
-    merge_elements = 0
-    for p in range(a.nnz):
-        l_coord = int(a.idxs[2][p])
-        l_node = l_lookup.get(l_coord)
-        if l_node is None:
-            merge_elements += 1
-            continue
-        fiber = int(l_fiber_end[l_node] - l_fiber_beg[l_node])
-        merge_elements += max(1, fiber // 2)
-        q = k_lookup.get((l_coord, int(k_of_leaf[p])))
-        if q is not None:
-            matches += 1
-            j_scanned += int(b.ptrs[2][q + 1] - b.ptrs[2][q])
+    if num_l and a.nnz:
+        l_node = np.searchsorted(b.idxs[0], a.idxs[2])
+        safe = np.minimum(l_node, num_l - 1)
+        l_found = (l_node < num_l) & (b.idxs[0][safe] == a.idxs[2])
+        fibers = (b.ptrs[1][1:] - b.ptrs[1][:-1])[safe[l_found]]
+        merge_elements = int(np.maximum(1, fibers // 2).sum()
+                             + np.count_nonzero(~l_found))
+    else:
+        merge_elements = int(a.nnz)
+    pos, hit = match_b_fibers(b, a.idxs[2], k_of_leaf)
+    matches = int(hit.sum())
+    j_scanned = int((b.ptrs[2][pos[hit] + 1] - b.ptrs[2][pos[hit]]).sum())
 
     space = AddressSpace()
     a_key_base = space.place(max(1, a.nnz) * INDEX_BYTES)

@@ -89,9 +89,9 @@ def triangle_timing_model(l_mat: CsrMatrix, machine: MachineConfig, *,
         AccessStream(idx_base + np.arange(l_mat.nnz, dtype=np.int64)
                      * INDEX_BYTES, INDEX_BYTES, "read", "L_i idxs"),
     ]
-    from ..kernels.common import gather_scan_positions
+    from ..kernels.spmspm import scan_arrays
 
-    scan_positions = gather_scan_positions(l_mat.ptrs, l_mat.idxs)
+    scan_positions, _ = scan_arrays(l_mat, l_mat)
     streams.append(AccessStream(
         idx_base + scan_positions * INDEX_BYTES, INDEX_BYTES, "read",
         "L_j idxs", dependent=True))

@@ -58,9 +58,10 @@ def machine_from_dict(data: dict) -> MachineConfig:
         memory=MemoryConfig(**data["memory"]),
         noc=NocConfig(**data["noc"]),
         tmu=TMUConfig(**data["tmu"]),
-        # records written before the cache-model flag existed default to
-        # the reference model those results were produced with
+        # records written before the fast-model flags existed default to
+        # the reference models those results were produced with
         fast_cache=data.get("fast_cache", False),
+        fast_engine=data.get("fast_engine", False),
     )
 
 
@@ -132,9 +133,15 @@ class SimTask:
 
     def content_hash(self) -> str:
         """Deterministic sha256 over the spec plus the code-version
-        salt — the cache key."""
-        payload = canonical_json({"salt": CODE_SALT, "spec": self.spec()})
-        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+        salt — the cache key.  Memoized: the task is frozen, so the
+        hash cannot change, and the executor/cache/manifest layers all
+        re-ask for it several times per cell."""
+        cached = self.__dict__.get("_content_hash")
+        if cached is None:
+            payload = canonical_json({"salt": CODE_SALT, "spec": self.spec()})
+            cached = hashlib.sha256(payload.encode("utf-8")).hexdigest()
+            object.__setattr__(self, "_content_hash", cached)
+        return cached
 
     # ---------------------------------------------------------- evaluation
 

@@ -20,6 +20,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from .. import obs
 from ..config import MachineConfig
 from ..errors import SimulationError
@@ -147,21 +149,29 @@ class IntervalCoreModel:
         l2_lat = machine.l2.latency
         mlp = self._effective_mlp(trace, profile)
 
-        backend_latency = 0.0
-        for s in profile.streams:
-            if s.kind != "read":
-                continue
-            covered = s.prefetch_coverage
-            eff_mem = s.mem_accesses * (1.0 - covered)
-            pref_hits = s.mem_accesses * covered + s.llc_hits * covered
-            eff_llc = s.llc_hits * (1.0 - covered)
-            stall = eff_mem * mem_lat
-            stall += eff_llc * llc_lat * (1.0 - self._LLC_HIDE)
-            stall += pref_hits * l2_lat * (1.0 - self._L2_HIDE)
-            stall += s.l2_hits * l2_lat * (1.0 - self._L2_HIDE)
-            s_mlp = mlp if not s.dependent else max(
-                2.0, mlp * self._DEP_MLP_FACTOR)
-            backend_latency += stall / s_mlp
+        # Batched stream evaluation: both the latency-limited stall sum
+        # and the in-flight service ceiling below reduce over the same
+        # per-stream quantities, so gather them once into lanes and let
+        # numpy fold the whole profile in one pass (kernels like SpKAdd
+        # carry dozens of streams per profile).
+        reads = [s for s in profile.streams if s.kind == "read"]
+        if reads:
+            mem = np.array([s.mem_accesses for s in reads], dtype=float)
+            llc = np.array([s.llc_hits for s in reads], dtype=float)
+            l2h = np.array([s.l2_hits for s in reads], dtype=float)
+            cov = np.array([s.prefetch_coverage for s in reads],
+                           dtype=float)
+            dep = np.array([s.dependent for s in reads], dtype=bool)
+            s_mlp = np.where(dep, max(2.0, mlp * self._DEP_MLP_FACTOR),
+                             mlp)
+            eff_mem = mem * (1.0 - cov)
+            stall = (eff_mem * mem_lat
+                     + llc * (1.0 - cov) * llc_lat * (1.0 - self._LLC_HIDE)
+                     + ((mem + llc) * cov + l2h) * l2_lat
+                     * (1.0 - self._L2_HIDE))
+            backend_latency = float((stall / s_mlp).sum())
+        else:
+            backend_latency = 0.0
 
         # Bandwidth floor: the run cannot finish before its off-chip
         # traffic is transferred through this core's bandwidth share.
@@ -183,17 +193,12 @@ class IntervalCoreModel:
         # queues, so covered lines weigh less.  This ceiling is what
         # keeps software baselines at a fraction of peak bandwidth
         # (Figure 12) and what the TMU's deep request queue removes.
-        service_cycles = 0.0
-        for s in profile.streams:
-            if s.kind != "read" or s.mem_accesses == 0:
-                continue
-            covered = s.prefetch_coverage
-            s_mlp = mlp if not s.dependent else max(
-                2.0, mlp * self._DEP_MLP_FACTOR)
-            demand_lines = s.mem_accesses * (1.0 - covered)
-            prefetch_lines = s.mem_accesses * covered
-            service_cycles += demand_lines * mem_lat / s_mlp
-            service_cycles += prefetch_lines * mem_lat / self._PREFETCH_MLP
+        if reads:
+            service_cycles = float(
+                (eff_mem * mem_lat / s_mlp
+                 + mem * cov * mem_lat / self._PREFETCH_MLP).sum())
+        else:
+            service_cycles = 0.0
 
         # Branch flushes that occur while the backend is already stalled
         # are hidden behind the memory wait; overlap a share of the

@@ -1,0 +1,604 @@
+"""Structure-of-arrays TMU lane engine (the fast execution path).
+
+The scalar engine in :mod:`.engine` advances one TU event at a time:
+each ``gite`` peeks lane heads, derives every data stream of the
+consumed slots, and fires callbacks — interpreted Python per element.
+This module re-executes the same program activation by activation, but
+inside one activation every lane's whole fiber is materialized as
+NumPy columns: iteration indices, derived stream values (via the SoA
+views in :mod:`.streams`), merge keys and arbiter addresses are
+computed as array ops, the merge front of a disjunctive/conjunctive
+group is enumerated with a single lexsort, and outQ records append in
+bulk (:meth:`~repro.tmu.outq.OutQueue.push_many`).
+
+Counters are written into the *same* TU/TG objects the scalar loop
+mutates, so ``RunStats``, ``observe()`` telemetry and the differential
+parity harness see identical numbers, and callbacks fire in exactly
+the loop-nest order of the scalar engine.
+
+Exactness guardrails:
+
+- stream values and touches are only accounted for the *produced*
+  prefix of a fiber — what the scalar engine actually peeks — derived
+  from the merge-front enumeration (a conjunctive merge cuts fibers
+  short exactly like the scalar FSM);
+- an activation whose merge keys are unsorted, whose streams lack SoA
+  views, or whose derivations would raise (out-of-bounds loads,
+  missing forwards) falls back to the scalar
+  :meth:`~repro.tmu.tg.TraversalGroup.iterate` path *before any side
+  effect*, which preserves reference semantics — including the DisjMrg
+  unsorted-fiber protocol error — bit for bit;
+- the fast path is disabled entirely while tracing, where per-event
+  instants need the scalar loop (mirroring ``batch_touches``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import TMURuntimeError
+from .outq import MaskValue, OutQueueRecord
+from .program import IndexOperand, MaskOperand, ScalarOperand, VectorOperand
+from .tg import MERGE_MODES, GroupStep, LayerMode, TgState
+from .tu import _OP_FWD, _OP_ITE, _OP_LOCAL, TuState
+
+#: parent modes that hand the same slot to every child lane
+_BROADCAST_LIKE = (None, LayerMode.SINGLE, LayerMode.BCAST, LayerMode.KEEP)
+
+
+def run_layers(engine, root_envs) -> None:
+    """Execute ``engine``'s program through the SoA lane engine."""
+    _run_layer(engine, 0, None, None, root_envs)
+
+
+# ---------------------------------------------------------------- contexts
+
+class _FastCtx:
+    """What a child activation reads from its parent's current step
+    when the parent ran on the fast path: the step mask, the first
+    active lane, and the parent slot values as column reads."""
+
+    __slots__ = ("mask", "first_active", "t", "streams_by_lane",
+                 "col_lists", "sels")
+
+    def __init__(self, streams_by_lane, col_lists, sels):
+        self.streams_by_lane = streams_by_lane
+        self.col_lists = col_lists
+        self.sels = sels
+        self.mask = 0
+        self.first_active = 0
+        self.t = 0
+
+    def items_for(self, lane):
+        sel = self.sels[lane]
+        if sel is None:
+            return None
+        e = sel[self.t]
+        if e < 0:
+            return None
+        cols = self.col_lists[lane]
+        return zip(self.streams_by_lane[lane],
+                   [c[e] for c in cols])
+
+
+class _StepCtx:
+    """The same view over a scalar :class:`GroupStep` (used when an
+    activation fell back to the reference path but its children can
+    still run fast)."""
+
+    __slots__ = ("mask", "_step")
+
+    def __init__(self, step: GroupStep):
+        self.mask = step.mask
+        self._step = step
+
+    @property
+    def first_active(self):
+        m = self.mask
+        return (m & -m).bit_length() - 1
+
+    def items_for(self, lane):
+        slot = self._step.slots[lane]
+        return slot.items() if slot is not None else None
+
+
+# ------------------------------------------------------------- lane fibers
+
+class _LaneFiber:
+    """One lane's materialized fiber: full-length value columns for
+    every stream, plus the produced/consumed accounting filled in by
+    the mode enumeration."""
+
+    __slots__ = ("tu", "start", "end", "stride", "n", "cols",
+                 "consumed", "produced", "fend", "sel")
+
+    def __init__(self, tu, start, end, stride, n, cols):
+        self.tu = tu
+        self.start = start
+        self.end = end
+        self.stride = stride
+        self.n = n
+        self.cols = cols
+        self.consumed = 0
+        self.produced = 0
+        self.fend = False
+        self.sel = None
+
+
+def _materialize(tu, beg, end, env):
+    """Derive every stream column of one fiber, or None when the
+    activation must fall back to the scalar path (a stream without an
+    SoA view, an out-of-bounds derivation, a missing forward)."""
+    if tu._plan is None or tu._plan_len != len(tu.streams):
+        tu._build_plan()
+    start = int(beg) + tu.offset
+    end_i = int(end)
+    stride = tu.stride
+    if stride > 0:
+        n = max(0, -((start - end_i) // stride))
+    else:
+        n = max(0, -((end_i - start) // -stride))
+    idx = start + stride * np.arange(n, dtype=np.int64)
+    cols: list = [idx]
+    for op, stream, src, _buf in tu._plan:
+        if op == _OP_FWD:
+            cols.append(np.full(n, env.get(src)))
+            continue
+        if op == _OP_ITE:
+            x = idx
+        elif op == _OP_LOCAL:
+            x = cols[src]
+        else:  # _OP_REMOTE
+            xv = env.get(src)
+            if xv is None:
+                # the scalar path raises on the first produced element;
+                # with an empty fiber it silently never derives
+                if n == 0:
+                    cols.append(np.zeros(0))
+                    continue
+                return None
+            try:
+                cols.append(np.full(n, stream.derive(xv)))
+            except Exception:
+                return None
+            continue
+        if stream.block_oob_index(x) is not None:
+            return None
+        col = stream.derive_block(x)
+        if col is None:
+            return None
+        cols.append(col)
+    return _LaneFiber(tu, start, end_i, stride, n, cols)
+
+
+# --------------------------------------------------------- merge-front math
+
+def _merge_fronts(fibers: dict[int, _LaneFiber]):
+    """Enumerate the merge-step sequence of sorted lanes.
+
+    Returns ``(n_steps, step_mask, step_index, step_of)`` where
+    ``step_of[lane]`` maps each element of that lane to the step (==
+    cycle, for merging modes) at which it is consumed.  Duplicate keys
+    within a lane occupy distinct consecutive steps; lanes consume
+    together exactly when they hold the same (key, occurrence) pair —
+    the array form of "every lane holding the minimum consumes".
+    """
+    parts_key, parts_occ, parts_bit, lanes_order = [], [], [], []
+    step_of: dict[int, np.ndarray] = {}
+    for lane, fib in fibers.items():
+        keys = np.asarray(fib.cols[fib.tu.merge_key.index_in_tu])
+        m = keys.size
+        if m == 0:
+            step_of[lane] = np.zeros(0, dtype=np.int64)
+            continue
+        occ = np.arange(m, dtype=np.int64) - np.searchsorted(keys, keys)
+        parts_key.append(keys)
+        parts_occ.append(occ)
+        parts_bit.append(np.full(m, 1 << lane, dtype=np.int64))
+        lanes_order.append((lane, m))
+    if not parts_key:
+        return 0, np.zeros(0, np.int64), np.zeros(0, np.int64), step_of
+    allk = np.concatenate(parts_key)
+    allo = np.concatenate(parts_occ)
+    allb = np.concatenate(parts_bit)
+    order = np.lexsort((allo, allk))
+    sk = allk[order]
+    so = allo[order]
+    new = np.empty(order.size, dtype=bool)
+    new[0] = True
+    new[1:] = (sk[1:] != sk[:-1]) | (so[1:] != so[:-1])
+    sid = np.cumsum(new) - 1
+    n_steps = int(sid[-1]) + 1
+    step_mask = np.bincount(
+        sid, weights=allb[order].astype(np.float64), minlength=n_steps
+    ).astype(np.int64)
+    step_index = sk[new]
+    elem_step = np.empty(order.size, dtype=np.int64)
+    elem_step[order] = sid
+    off = 0
+    for lane, m in lanes_order:
+        step_of[lane] = elem_step[off:off + m]
+        off += m
+    return n_steps, step_mask, step_index, step_of
+
+
+def _sorted_keys(fibers: dict[int, _LaneFiber]) -> bool:
+    """Are every lane's merge keys non-decreasing (and numeric)?"""
+    for fib in fibers.values():
+        keys = np.asarray(fib.cols[fib.tu.merge_key.index_in_tu])
+        if keys.dtype == object:
+            return False
+        if keys.size > 1 and not bool(np.all(keys[1:] >= keys[:-1])):
+            return False
+    return True
+
+
+# ------------------------------------------------------------- layer runner
+
+def _child_mask(engine, layer_idx, parent_mode, ctx):
+    layer = engine.program.layers[layer_idx]
+    configured = (1 << len(layer.tus)) - 1
+    if layer.mode in (LayerMode.SINGLE, LayerMode.BCAST):
+        return 1
+    if parent_mode in _BROADCAST_LIKE or ctx is None:
+        return configured
+    mask = ctx.mask & configured
+    if mask == 0:
+        raise TMURuntimeError(
+            f"layer {layer_idx}: no active lanes after hierarchical "
+            "predicate"
+        )
+    return mask
+
+
+def _parent_lane_for(child_lane, parent_mode, ctx):
+    if ctx is None:
+        return None
+    if parent_mode in (LayerMode.SINGLE, LayerMode.BCAST):
+        return 0
+    if parent_mode is LayerMode.KEEP:
+        return ctx.first_active
+    return child_lane
+
+
+def _run_layer(engine, layer_idx, parent_mode, parent_ctx,
+               parent_envs) -> None:
+    program = engine.program
+    layer = program.layers[layer_idx]
+    group = engine.groups[layer_idx]
+    mask = _child_mask(engine, layer_idx, parent_mode, parent_ctx)
+    engine._stats.layer_activations[layer_idx] += 1
+
+    envs: list[dict] = [dict() for _ in range(program.lanes)]
+    bounds: dict[int, tuple[int, int]] = {}
+    for lane in range(len(layer.tus)):
+        if not mask & (1 << lane):
+            continue
+        parent_lane = _parent_lane_for(lane, parent_mode, parent_ctx)
+        env = dict(parent_envs[parent_lane or 0])
+        if parent_ctx is not None and parent_lane is not None:
+            items = parent_ctx.items_for(parent_lane)
+            if items is not None:
+                env.update(items)
+        envs[lane] = env
+        tu = layer.tus[lane]
+        if tu.kind.name == "DENSE":
+            beg, end = int(tu.beg), int(tu.end)
+        else:
+            beg = engine._resolve_bound(tu, tu.beg, env)
+            if tu.kind.name == "RANGE":
+                end = engine._resolve_bound(tu, tu.end, env)
+            else:  # INDEX
+                end = beg + int(tu.size)
+        bounds[lane] = (beg, end)
+
+    gbeg_cbs, _gite_cbs, gend_cbs = engine._layer_callbacks[layer_idx]
+    for cb, res in gbeg_cbs:
+        engine._fire(cb, layer_idx, None, envs, mask, res)
+
+    _run_activation(engine, layer_idx, layer, group, mask, envs, bounds)
+
+    for cb, res in gend_cbs:
+        engine._fire(cb, layer_idx, None, envs, mask, res)
+
+
+def _scalar_activation(engine, layer_idx, layer, group, mask, envs,
+                       bounds) -> None:
+    """Reference-path activation: exact scalar semantics for this
+    activation (its children still take the fast path when they can)."""
+    for lane, (beg, end) in bounds.items():
+        layer.tus[lane].begin(beg, end, fwd_values=envs[lane])
+    _, gite_cbs, _ = engine._layer_callbacks[layer_idx]
+    last = layer_idx == len(engine.program.layers) - 1
+    for step in group.iterate(mask, engine=engine):
+        for cb, res in gite_cbs:
+            engine._fire(cb, layer_idx, step, envs, mask, res)
+        if not last:
+            _run_layer(engine, layer_idx + 1, layer.mode, _StepCtx(step),
+                       envs)
+        group.recycle(step)
+
+
+def _run_activation(engine, layer_idx, layer, group, mask, envs,
+                    bounds) -> None:
+    mode = layer.mode
+    begun = [k for k in range(len(layer.tus)) if mask >> k & 1]
+    if not begun:
+        raise TMURuntimeError(
+            f"layer {layer_idx} activated with an empty lane mask"
+        )
+    if mode in (LayerMode.SINGLE, LayerMode.BCAST):
+        iter_lanes = [0]
+    elif mode is LayerMode.KEEP:
+        keep = group.keep_lane if group.keep_lane is not None else begun[0]
+        iter_lanes = [keep]
+    else:
+        iter_lanes = begun
+
+    fibers: dict[int, _LaneFiber] = {}
+    for k in iter_lanes:
+        beg, end = bounds[k]
+        fib = _materialize(layer.tus[k], beg, end, envs[k])
+        if fib is None:
+            _scalar_activation(engine, layer_idx, layer, group, mask,
+                               envs, bounds)
+            return
+        fibers[k] = fib
+
+    merge_inc = 0
+    if mode in MERGE_MODES:
+        if not _sorted_keys(fibers):
+            _scalar_activation(engine, layer_idx, layer, group, mask,
+                               envs, bounds)
+            return
+        n_steps, step_mask, step_index, step_of = _merge_fronts(fibers)
+        if mode is LayerMode.DISJ_MRG:
+            merge_inc = n_steps
+            mask_list = step_mask.tolist()
+            index_list = step_index.tolist()
+            for k, fib in fibers.items():
+                fib.consumed = fib.produced = fib.n
+                fib.fend = True
+                sel = np.full(n_steps, -1, dtype=np.int64)
+                sel[step_of[k]] = np.arange(fib.n, dtype=np.int64)
+                fib.sel = sel.tolist()
+        else:  # CONJ_MRG
+            full = 0
+            for k in fibers:
+                full |= 1 << k
+            exhaust = {
+                k: (int(step_of[k][-1]) + 1 if fib.n else 0)
+                for k, fib in fibers.items()
+            }
+            big_t = min(exhaust.values())
+            merge_inc = big_t
+            # e: the first lane (ascending) whose peek finds the fiber
+            # exhausted — it alone emits the fend token this activation
+            e = min(k for k in fibers if exhaust[k] == big_t)
+            emitted = np.flatnonzero(step_mask[:big_t] == full)
+            mask_list = [full] * emitted.size
+            index_list = step_index[emitted].tolist()
+            for k, fib in fibers.items():
+                consumed = int(np.searchsorted(step_of[k], big_t))
+                fib.consumed = consumed
+                if k == e:
+                    fib.produced = fib.n
+                    fib.fend = True
+                elif k < e:
+                    fib.produced = consumed + 1
+                else:
+                    parted = consumed >= 1 and (
+                        int(step_of[k][consumed - 1]) == big_t - 1)
+                    fib.produced = consumed if parted else (
+                        consumed + 1 if big_t > 0 else 0)
+                fib.sel = np.searchsorted(step_of[k], emitted).tolist()
+    elif mode is LayerMode.LOCKSTEP:
+        n_steps = max(fib.n for fib in fibers.values())
+        merge_inc = n_steps
+        edges = np.zeros(n_steps + 1, dtype=np.int64)
+        for k, fib in fibers.items():
+            fib.consumed = fib.produced = fib.n
+            fib.fend = True
+            fib.sel = list(range(fib.n)) + [-1] * (n_steps - fib.n)
+            if fib.n:
+                edges[0] += 1 << k
+                edges[fib.n] -= 1 << k
+        mask_list = np.cumsum(edges[:-1]).tolist()
+        index_list = list(range(n_steps))
+    else:  # SINGLE / BCAST / KEEP: one iterated lane
+        k, fib = next(iter(fibers.items()))
+        n_steps = fib.n
+        fib.consumed = fib.produced = fib.n
+        fib.fend = True
+        fib.sel = list(range(fib.n))
+        mask_list = [1 << k] * n_steps
+        index_list = list(range(n_steps))
+
+    # ---- bulk side effects: begin/iterate/fend accounting + touches
+    for k in begun:
+        tu = layer.tus[k]
+        tu.fiber_count += 1
+        if k not in fibers:
+            # begun but never iterated (Keep's dropped lanes): the
+            # scalar engine leaves them armed mid-fiber
+            tu.state = TuState.FITE
+            beg, end = bounds[k]
+            tu._cur = int(beg) + tu.offset
+            tu._end = int(end)
+            tu._head = None
+            tu._fwd_values = envs[k]
+    for k, fib in fibers.items():
+        tu = fib.tu
+        tu.iterations += fib.consumed
+        tu.control_tokens += fib.produced + (1 if fib.fend else 0)
+        tu.state = TuState.FEND if fib.fend else TuState.FITE
+        tu._cur = fib.start + fib.consumed * fib.stride
+        tu._end = fib.end
+        tu._head = None
+        tu._fwd_values = envs[k]
+        if fib.produced:
+            # a prior scalar-path activation of this TU may hold
+            # buffered touches (conjunctive cut-short fibers flush at
+            # the *next* fend); drain them first to keep the arbiter's
+            # per-stream order chronological
+            tu.flush_touches(engine)
+            for op, stream, src, buf in tu._plan:
+                if buf is None:
+                    continue
+                if op == _OP_LOCAL:
+                    x = fib.cols[src][:fib.produced]
+                elif op == _OP_ITE:
+                    x = fib.cols[0][:fib.produced]
+                else:  # _OP_REMOTE: constant parent value
+                    addr = stream.touched_address(envs[k][src])
+                    engine.record_touch_batch(
+                        tu, stream, [addr] * fib.produced)
+                    continue
+                addresses = stream.touched_addresses(x)
+                if addresses is not None:
+                    engine.record_touch_batch(tu, stream,
+                                              addresses.tolist())
+    group.state = TgState.GEND
+    group.gite_count += len(mask_list)
+    group.gend_count += 1
+    group.merge_steps += merge_inc
+
+    # ---- fire gite callbacks / recurse, in loop-nest order
+    n_act = len(mask_list)
+    last = layer_idx == len(engine.program.layers) - 1
+    num_lanes = len(layer.tus)
+    col_lists: list = [None] * num_lanes
+    sels: list = [None] * num_lanes
+    _, gite_cbs, _ = engine._layer_callbacks[layer_idx]
+    if n_act == 0:
+        return
+    needed = _needed_columns(layer, gite_cbs, last, fibers)
+    for k, fib in fibers.items():
+        sels[k] = fib.sel
+        lists = [None] * len(fib.cols)
+        for vi in (range(len(fib.cols)) if needed is None
+                   else needed.get(k, ())):
+            col = fib.cols[vi]
+            lists[vi] = col.tolist() if isinstance(col, np.ndarray) \
+                else list(col)
+        col_lists[k] = lists
+
+    first = (mask & -mask).bit_length() - 1
+    fire = []
+    for cb, _res in gite_cbs:
+        tuples = _operand_tuples(cb, layer_idx, envs, first, col_lists,
+                                 sels, mask_list, index_list, n_act)
+        fire.append((
+            cb.callback_id, tuples,
+            engine._handlers.get(cb.callback_id, engine._default_handler),
+        ))
+
+    outq = engine.outq
+    counts = engine._stats.callback_counts
+    collect = engine.collect_records
+    if last and len(fire) == 1:
+        cb_id, tuples, handler = fire[0]
+        records = [
+            OutQueueRecord(cb_id, ops, m, layer_idx)
+            for ops, m in zip(tuples, mask_list)
+        ]
+        outq.push_many(records)
+        if not collect:
+            outq.records.clear()
+        counts[cb_id] = counts.get(cb_id, 0) + n_act
+        if handler is not None:
+            for record in records:
+                handler(record)
+        return
+
+    ctx = None
+    if not last:
+        streams_by_lane = [tu.streams for tu in layer.tus]
+        ctx = _FastCtx(streams_by_lane, col_lists, sels)
+    for t in range(n_act):
+        m = mask_list[t]
+        for cb_id, tuples, handler in fire:
+            record = OutQueueRecord(cb_id, tuples[t], m, layer_idx)
+            outq.push(record)
+            if not collect:
+                outq.records.clear()
+            counts[cb_id] = counts.get(cb_id, 0) + 1
+            if handler is not None:
+                handler(record)
+        if ctx is not None:
+            ctx.mask = m
+            ctx.first_active = (m & -m).bit_length() - 1
+            ctx.t = t
+            _run_layer(engine, layer_idx + 1, mode, ctx, envs)
+
+
+# -------------------------------------------------------- operand columns
+
+def _needed_columns(layer, gite_cbs, last, fibers):
+    """Which (lane, stream-index) columns the step loop will read as
+    Python values.  Non-leaf layers need every column (children consume
+    whole slots into their envs); leaf layers only the operand reads.
+    Returns None for "all"."""
+    if not last:
+        return None
+    needed: dict[int, set] = {k: set() for k in fibers}
+    for cb, _res in gite_cbs:
+        for operand in cb.operands:
+            if isinstance(operand, ScalarOperand):
+                s = operand.stream
+                if s.tu is not None and s.tu.layer == layer.tus[0].layer:
+                    needed.setdefault(s.tu.lane, set()).add(s.index_in_tu)
+            elif isinstance(operand, VectorOperand):
+                for s in operand.streams:
+                    lane = s.tu.lane if s.tu else 0
+                    needed.setdefault(lane, set()).add(s.index_in_tu)
+    return needed
+
+
+def _lane_column(lane, vi, col_lists, sels, n):
+    """Per-step values of one same-layer stream (0.0 outside the
+    mask, like the scalar ``slot is None`` read)."""
+    cols = col_lists[lane] if lane < len(col_lists) else None
+    col = cols[vi] if cols is not None else None
+    sel = sels[lane] if lane < len(sels) else None
+    if col is None or sel is None:
+        return [0.0] * n
+    return [col[e] if e >= 0 else 0.0 for e in sel]
+
+
+def _operand_tuples(cb, layer_idx, envs, first, col_lists, sels,
+                    mask_list, index_list, n):
+    """The per-step operand tuples of one callback, built column-wise
+    (the SoA counterpart of the engine's compiled resolvers)."""
+    parts = []
+    for operand in cb.operands:
+        if isinstance(operand, MaskOperand):
+            parts.append([MaskValue(m) for m in mask_list])
+        elif isinstance(operand, IndexOperand):
+            parts.append(index_list)
+        elif isinstance(operand, VectorOperand):
+            lanes_vi = [(s.tu.lane if s.tu else 0, s.index_in_tu)
+                        for s in operand.streams]
+            vec_parts = [_lane_column(lane, vi, col_lists, sels, n)
+                         for lane, vi in lanes_vi]
+            parts.append([tuple(vals) for vals in zip(*vec_parts)])
+        elif isinstance(operand, ScalarOperand):
+            s = operand.stream
+            if s.tu is not None and s.tu.layer == layer_idx:
+                parts.append(_lane_column(s.tu.lane, s.index_in_tu,
+                                          col_lists, sels, n))
+            else:
+                env = envs[first] if envs else {}
+                if s not in env:
+                    raise TMURuntimeError(
+                        f"operand {s.name} not available at layer "
+                        f"{layer_idx}"
+                    )
+                parts.append([env[s]] * n)
+        else:  # pragma: no cover - exhaustive
+            raise TMURuntimeError(f"unknown operand {operand!r}")
+    if not parts:
+        return [()] * n
+    if len(parts) == 1:
+        return [(v,) for v in parts[0]]
+    return list(zip(*parts))

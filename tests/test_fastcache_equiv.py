@@ -133,6 +133,44 @@ class TestFuzzEquivalence:
         _, fast = _pair(2, 2)
         assert fast.mshrs == 4
 
+    def test_huge_prologue_exceeds_static_pack(self):
+        """A batch whose prologue + length tops 2**22 must still be
+        exact: the packed-sort position bits are sized per batch, so a
+        giant configuration (num_sets x ways resident lines all touched
+        at once) cannot overflow the pack.
+
+        Disjoint sets never interact under LRU, so processing the same
+        batch partitioned by set range (program order kept within each
+        partition) is an exact oracle for the one-shot call.
+        """
+        num_sets, ways = 1 << 18, 16  # 4.2M resident slots > 2**22
+        cfg = CacheConfig(num_sets * ways * 64, ways, 1, 4)
+        rng = np.random.default_rng(0x905B175)
+
+        def filled() -> FastCache:
+            fast = FastCache(cfg)
+            w = np.arange(ways, dtype=np.int64)
+            for chunk in range(0, num_sets, 1 << 15):
+                s = np.arange(chunk, chunk + (1 << 15), dtype=np.int64)
+                fast.lookup_lines(np.repeat(w, s.size) * num_sets + np.tile(s, ways))
+            return fast
+
+        tail = rng.integers(0, num_sets * (ways + 4), 200_000, dtype=np.int64)
+        every_set = np.arange(num_sets, dtype=np.int64)
+        batch = np.concatenate([every_set, tail])
+
+        one = filled()
+        hits_one = one._process(batch)
+        part = filled()
+        hits_part = np.empty(batch.size, dtype=bool)
+        sets = batch & (num_sets - 1)
+        for lo in range(0, num_sets, 1 << 13):
+            sel = (sets >= lo) & (sets < lo + (1 << 13))
+            hits_part[sel] = part._process(batch[sel])
+        np.testing.assert_array_equal(hits_one, hits_part)
+        np.testing.assert_array_equal(one._tags, part._tags)
+        np.testing.assert_array_equal(one._occ, part._occ)
+
 
 # ------------------------------------------------ engine RunStats parity
 

@@ -1,0 +1,431 @@
+"""Scalar reference engine vs the SoA fast lane engine: differential
+parity (licenses ``tmu/fastlane.py``).
+
+Three tiers of evidence, strongest first:
+
+1. every registered Table 4 kernel program, comparing outQ records
+   element-for-element, the full RunStats dict, the kernel's numeric
+   result, and the ``tmu.*`` telemetry counters;
+2. seeded fuzz over generated one-layer merge programs and two-layer
+   nests — every merge mode, duplicate and empty fibers, lin/map/ldr/
+   fwd streams, strides and offsets — with the seed rotated by CI via
+   ``REPRO_FUZZ_SEED``;
+3. failure parity: inputs that make the reference engine raise must
+   make the fast engine raise the same error with the same message
+   (the fast lane falls back *before* side effects, so errors surface
+   from the identical scalar code path).
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.fibers.fiber import Fiber
+from repro.formats.convert import coo_to_csf
+from repro.generators import uniform_random_matrix, uniform_random_tensor
+from repro.kernels import split_rows_cyclic
+from repro.kernels.triangle import lower_triangle
+from repro.programs import (
+    build_mttkrp_program,
+    build_spkadd_program,
+    build_spmm_program,
+    build_spmspm_program,
+    build_spmspv_program,
+    build_spmv_program,
+    build_sptc_program,
+    build_spttm_program,
+    build_spttv_program,
+    build_triangle_program,
+)
+from repro.tmu import TmuEngine
+from repro.tmu.program import Event, LayerMode, Program, ScalarOperand
+from repro.types import INDEX_BYTES, VALUE_BYTES
+
+#: CI rotates this (see .github/workflows/ci.yml parity-fuzz); a fixed
+#: default keeps local runs reproducible.
+FUZZ_SEED = int(os.environ.get("REPRO_FUZZ_SEED", "2371"), 0)
+
+MERGE_MODES = (
+    LayerMode.DISJ_MRG,
+    LayerMode.CONJ_MRG,
+    LayerMode.LOCKSTEP,
+    LayerMode.KEEP,
+)
+
+
+# --------------------------------------------------------------- run harness
+
+
+def _stats_dict(stats) -> dict:
+    return {
+        "layer_iterations": stats.layer_iterations,
+        "layer_merge_steps": stats.layer_merge_steps,
+        "layer_activations": stats.layer_activations,
+        "outq_records": stats.outq_records,
+        "outq_bytes": stats.outq_bytes,
+        "outq_chunks": stats.outq_chunks,
+        "memory_touches": stats.memory_touches,
+        "memory_lines": stats.memory_lines,
+        "memory_bytes": stats.memory_bytes,
+        "callback_counts": stats.callback_counts,
+    }
+
+
+def _tmu_metrics(registry) -> dict:
+    """Deterministic ``tmu.*`` telemetry: counters and gauges (timers
+    measure wall time and are excluded)."""
+    body = registry.as_dict()
+    out = {}
+    for kind in ("counters", "gauges"):
+        for name, data in body[kind].items():
+            if name.startswith("tmu."):
+                out[f"{kind}:{name}"] = data
+    return out
+
+
+def _run_engine(factory, fast: bool) -> dict:
+    """Run a freshly built program on one engine flavor; capture every
+    observable output, or the error if the run raises."""
+    prog, handlers, result = factory()
+    engine = TmuEngine(prog, fast=fast)
+    assert engine.fast is fast
+    with obs.capture() as registry:
+        try:
+            stats = engine.run(handlers)
+        except Exception as exc:  # error parity is the point
+            return {"error": (type(exc).__name__, str(exc))}
+    return {
+        "records": list(engine.outq.records),
+        "stats": _stats_dict(stats),
+        "metrics": _tmu_metrics(registry),
+        "result": result() if result is not None else None,
+    }
+
+
+def _assert_parity(factory, label: str = "") -> dict:
+    ref = _run_engine(factory, fast=False)
+    fast = _run_engine(factory, fast=True)
+    tag = f" [{label}]" if label else ""
+    if "error" in ref or "error" in fast:
+        detail = f"scalar={ref.get('error')} fast={fast.get('error')}"
+        msg = f"error parity broken{tag}: {detail}"
+        assert ref.get("error") == fast.get("error"), msg
+        return ref
+    n_ref, n_fast = len(ref["records"]), len(fast["records"])
+    msg = f"record count differs{tag}: {n_ref} scalar vs {n_fast} fast"
+    assert n_ref == n_fast, msg
+    for i, (a, b) in enumerate(zip(ref["records"], fast["records"])):
+        assert a == b, f"record {i} differs{tag}:\n  scalar {a}\n  fast   {b}"
+    assert ref["stats"] == fast["stats"], f"RunStats differ{tag}"
+    assert ref["metrics"] == fast["metrics"], f"telemetry differs{tag}"
+    if ref["result"] is not None:
+        np.testing.assert_allclose(
+            _as_dense(ref["result"]),
+            _as_dense(fast["result"]),
+            err_msg=f"kernel result differs{tag}",
+        )
+    return ref
+
+
+def _as_dense(result) -> np.ndarray:
+    """Kernel outputs come back as ndarrays or sparse formats (CsrMatrix,
+    Csf, Fiber, ...) — flatten everything to a dense float array."""
+    if hasattr(result, "to_dense"):
+        try:
+            return np.asarray(result.to_dense(), dtype=float)
+        except TypeError:  # Fiber.to_dense(size)
+            return np.asarray(result.values, dtype=float)
+    if isinstance(result, dict):  # e.g. spttm's {(i, j): row} output
+        if not result:
+            return np.zeros(0)
+        rows = [np.asarray(result[k], dtype=float) for k in sorted(result)]
+        return np.concatenate([np.atleast_1d(r) for r in rows])
+    return np.asarray(result, dtype=float)
+
+
+# --------------------------------------------- tier 1: registered programs
+
+
+def _kernel_builders():
+    # every input is materialized *eagerly*: the two engine runs of one
+    # parity check must rebuild the program from identical data
+    rng = np.random.default_rng(97)
+    matrix = uniform_random_matrix(28, 32, 5, seed=41)
+    vector = rng.random(matrix.num_cols)
+    sv_idx = np.sort(rng.choice(matrix.num_cols, 9, replace=False))
+    sv = Fiber(sv_idx, rng.random(9))
+    dense_b = rng.random((matrix.num_cols, 6))
+    matrix_t = matrix.transpose()
+    parts = split_rows_cyclic(matrix, 3)
+    tri = lower_triangle(uniform_random_matrix(36, 36, 4, seed=33))
+    tensor = uniform_random_tensor((9, 7, 8), 130, seed=10)
+    fac_b, fac_c = rng.random((7, 3)), rng.random((8, 3))
+    csf = coo_to_csf(uniform_random_tensor((8, 9, 7), 110, seed=16))
+    ttv_vec, ttm_mat = rng.random(7), rng.random((7, 4))
+    csf_a = coo_to_csf(uniform_random_tensor((7, 8, 6), 95, seed=11))
+    csf_b = coo_to_csf(uniform_random_tensor((6, 8, 7), 95, seed=12))
+    return {
+        "spmv": lambda: build_spmv_program(matrix, vector, lanes=4),
+        "spmspv": lambda: build_spmspv_program(matrix, sv),
+        "spmm": lambda: build_spmm_program(matrix, dense_b, lanes=2),
+        "spmspm": lambda: build_spmspm_program(matrix, matrix_t, lanes=2),
+        "spkadd": lambda: build_spkadd_program(parts),
+        "triangle": lambda: build_triangle_program(tri),
+        "mttkrp": lambda: build_mttkrp_program(tensor, fac_b, fac_c),
+        "spttv": lambda: build_spttv_program(csf, ttv_vec),
+        "spttm": lambda: build_spttm_program(csf, ttm_mat),
+        "sptc": lambda: build_sptc_program(csf_a, csf_b),
+    }
+
+
+@pytest.mark.parametrize("kernel", sorted(_kernel_builders()))
+def test_kernel_program_parity(kernel):
+    """Scalar and SoA engines are indistinguishable on every registered
+    kernel: records, stats, telemetry, and the computed result."""
+    builders = _kernel_builders()
+
+    def factory():
+        built = builders[kernel]()
+        return built.program, built.handlers, built.result
+
+    out = _assert_parity(factory, label=kernel)
+    assert out["records"], f"{kernel} produced no records — vacuous parity"
+
+
+# ----------------------------------------------- tier 2: seeded fuzz corpus
+
+
+def _fuzz_merge_factory(rng):
+    """A randomized one-layer merge program: 1-5 lanes, duplicate and
+    empty fibers, lin/map/ldr side streams, random operand shapes."""
+    mode = MERGE_MODES[int(rng.integers(0, len(MERGE_MODES)))]
+    lanes = int(rng.integers(1, 6))
+    fibers = []
+    for _ in range(lanes):
+        n = int(rng.integers(0, 15))
+        coords = np.sort(rng.integers(0, 24, n)).astype(np.int64)
+        if n and rng.random() < 0.08:  # unsorted: error-parity case
+            coords = coords[::-1].copy()
+        fibers.append(coords)
+    keep_lane = None
+    if mode is LayerMode.KEEP and rng.random() < 0.7:
+        keep_lane = int(rng.integers(0, lanes))
+    want_map = rng.random() < 0.4
+    want_ldr = rng.random() < 0.4
+    want_lin = rng.random() < 0.6
+    want_scalar = rng.random() < 0.5
+    two_gite = rng.random() < 0.3
+    table = [float(v) for v in rng.random(16)]
+
+    def factory():
+        prog = Program("fuzz1", lanes=lanes)
+        layer = prog.add_layer(mode)
+        if keep_lane is not None:
+            layer.keep_lane = keep_lane
+        vals_streams, extra_streams = [], []
+        for lane, coords in enumerate(fibers):
+            n = coords.size
+            carr = prog.place_array(coords, INDEX_BYTES, f"c{lane}")
+            vals = np.arange(1.0, n + 1) * (lane + 1)
+            varr = prog.place_array(vals, VALUE_BYTES, f"v{lane}")
+            tu = layer.dns_fbrt(beg=0, end=n)
+            key = tu.add_mem_stream(carr, name=f"key{lane}")
+            val = tu.add_mem_stream(varr, name=f"val{lane}")
+            tu.set_merge_key(key)
+            vals_streams.append(val)
+            side = val
+            if want_lin:
+                side = tu.add_lin_stream(2.0, float(lane), key)
+            if want_map:
+                # keys are < 24; clamp through lin into table range is
+                # overkill — map straight off the iteration index, whose
+                # values are < 15 < table size
+                side = tu.add_map_stream(table, name=f"map{lane}")
+            if want_ldr:
+                side = tu.add_ldr_stream(varr, parent=key, name=f"ldr{lane}")
+            extra_streams.append(side)
+        ops = [layer.index_operand(), layer.mask_operand()]
+        ops.append(layer.vec_operand(vals_streams))
+        if want_lin or want_map or want_ldr:
+            ops.append(layer.vec_operand(extra_streams))
+        if want_scalar:
+            ops.append(ScalarOperand(vals_streams[0]))
+        layer.add_callback(Event.GBEG, "b", [])
+        layer.add_callback(Event.GITE, "pt", ops)
+        if two_gite:
+            layer.add_callback(Event.GITE, "pt2", [layer.index_operand()])
+        layer.add_callback(Event.GEND, "e", [])
+        return prog, None, None
+
+    return factory, f"merge:{mode.value}/lanes={lanes}"
+
+
+def _fuzz_nested_factory(rng):
+    """A randomized two-layer nest: SINGLE/BCAST outer over per-lane
+    CSR-style pointer streams, rng/idx inner fiber types, fwd streams,
+    every inner mode."""
+    lanes = int(rng.integers(1, 5))
+    outer_mode = LayerMode.BCAST if lanes > 1 else LayerMode.SINGLE
+    inner_mode = LayerMode.SINGLE
+    if rng.random() < 0.75:
+        inner_mode = MERGE_MODES[int(rng.integers(0, len(MERGE_MODES)))]
+    inner_lanes = lanes if inner_mode is not LayerMode.SINGLE else 1
+    rows = int(rng.integers(1, 6))
+    use_idx = rng.random() < 0.25
+    use_fwd = rng.random() < 0.6
+    split_cyclic = rng.random() < 0.3  # offset=lane, stride=lanes idiom
+
+    per_lane = []
+    for _ in range(inner_lanes):
+        rowlens = rng.integers(0, 5, rows)
+        pe = np.cumsum(rowlens).astype(np.int64)
+        pb = pe - rowlens
+        if pe[-1]:
+            chunks = [np.sort(rng.integers(0, 20, int(k))) for k in rowlens]
+            coords = np.concatenate(chunks).astype(np.int64)
+        else:
+            coords = np.zeros(0, dtype=np.int64)
+        per_lane.append((pb, pe, coords, rng.random(max(coords.size, 1))))
+    rowvals = rng.random(rows)
+
+    def factory():
+        prog = Program("fuzz2", lanes=max(lanes, inner_lanes))
+        l0 = prog.add_layer(outer_mode)
+        tu0 = l0.dns_fbrt(beg=0, end=rows)
+        rv_arr = prog.place_array(rowvals, VALUE_BYTES, "rowvals")
+        rowval = tu0.add_mem_stream(rv_arr, name="rowval")
+        l1 = prog.add_layer(inner_mode)
+        inner_vals, fwds = [], []
+        for lane, (pb, pe, coords, vals) in enumerate(per_lane):
+            pb_arr = prog.place_array(pb, INDEX_BYTES, f"pb{lane}")
+            pb_s = tu0.add_mem_stream(pb_arr)
+            pe_arr = prog.place_array(pe, INDEX_BYTES, f"pe{lane}")
+            pe_s = tu0.add_mem_stream(pe_arr)
+            carr = prog.place_array(coords, INDEX_BYTES, f"ic{lane}")
+            varr = prog.place_array(vals, VALUE_BYTES, f"iv{lane}")
+            if use_idx:
+                tu = l1.idx_fbrt(beg=pb_s, size=1)
+            elif split_cyclic:
+                tu = l1.rng_fbrt(beg=pb_s, end=pe_s, offset=lane, stride=inner_lanes)
+            else:
+                tu = l1.rng_fbrt(beg=pb_s, end=pe_s)
+            key = tu.add_mem_stream(carr, name=f"ikey{lane}")
+            val = tu.add_mem_stream(varr, name=f"ival{lane}")
+            if inner_mode in MERGE_MODES:
+                tu.set_merge_key(key)
+            inner_vals.append(val)
+            if use_fwd:
+                fwds.append(tu.add_fwd_stream(rowval, name=f"fw{lane}"))
+        l0.add_callback(Event.GBEG, "rb", [])
+        row_ops = [l0.index_operand(), ScalarOperand(rowval)]
+        l0.add_callback(Event.GITE, "row", row_ops)
+        ops = [l1.index_operand(), l1.mask_operand()]
+        ops.append(l1.vec_operand(inner_vals))
+        if use_fwd:
+            ops.append(l1.vec_operand(fwds))
+        ops.append(ScalarOperand(rowval))  # env-resolved from the parent
+        l1.add_callback(Event.GITE, "pt", ops)
+        l1.add_callback(Event.GEND, "re", [])
+        return prog, None, None
+
+    label = f"nest:{outer_mode.value}>{inner_mode.value}/lanes={inner_lanes}"
+    return factory, label
+
+
+def test_fuzz_single_layer_merge_parity():
+    rng = np.random.default_rng(FUZZ_SEED)
+    for case in range(120):
+        factory, label = _fuzz_merge_factory(rng)
+        _assert_parity(factory, label=f"seed={FUZZ_SEED} case={case} {label}")
+
+
+def test_fuzz_two_layer_nest_parity():
+    rng = np.random.default_rng(FUZZ_SEED ^ 0x5A5A5A)
+    for case in range(80):
+        factory, label = _fuzz_nested_factory(rng)
+        _assert_parity(factory, label=f"seed={FUZZ_SEED} case={case} {label}")
+
+
+# -------------------------------------------- tier 3: directed edge cases
+
+
+def _directed_cases():
+    def empty_fibers():
+        prog = Program("empty", lanes=3)
+        layer = prog.add_layer(LayerMode.DISJ_MRG)
+        for lane in range(3):
+            empty = np.zeros(0, dtype=np.int64)
+            carr = prog.place_array(empty, INDEX_BYTES, f"c{lane}")
+            tu = layer.dns_fbrt(beg=0, end=0)
+            tu.set_merge_key(tu.add_mem_stream(carr))
+        layer.add_callback(Event.GITE, "pt", [layer.index_operand()])
+        layer.add_callback(Event.GEND, "e", [])
+        return prog, None, None
+
+    def negative_stride():
+        prog = Program("revwalk", lanes=1)
+        layer = prog.add_layer(LayerMode.SINGLE)
+        vals = prog.place_array(np.arange(10.0), VALUE_BYTES, "v")
+        tu = layer.dns_fbrt(beg=9, end=-1, stride=-1)
+        v = tu.add_mem_stream(vals)
+        ops = [layer.index_operand(), layer.vec_operand([v])]
+        layer.add_callback(Event.GITE, "pt", ops)
+        return prog, None, None
+
+    def stream_offset():
+        prog = Program("offs", lanes=2)
+        layer = prog.add_layer(LayerMode.LOCKSTEP)
+        data = prog.place_array(np.arange(20.0), VALUE_BYTES, "d")
+        streams = []
+        for lane in range(2):
+            tu = layer.dns_fbrt(beg=0, end=6)
+            streams.append(tu.add_mem_stream(data, offset=3 + lane))
+        ops = [layer.mask_operand(), layer.vec_operand(streams)]
+        layer.add_callback(Event.GITE, "pt", ops)
+        return prog, None, None
+
+    def unsorted_disj():
+        # both engines must raise the same TMURuntimeError
+        prog = Program("unsorted", lanes=2)
+        layer = prog.add_layer(LayerMode.DISJ_MRG)
+        for lane, idx in enumerate([[5, 2, 9], [1, 3]]):
+            arr = np.asarray(idx, dtype=np.int64)
+            carr = prog.place_array(arr, INDEX_BYTES, f"c{lane}")
+            tu = layer.dns_fbrt(beg=0, end=arr.size)
+            tu.set_merge_key(tu.add_mem_stream(carr))
+        layer.add_callback(Event.GITE, "pt", [layer.index_operand()])
+        return prog, None, None
+
+    def oob_chase():
+        # both engines must raise the same out-of-bounds TMUConfigError
+        prog = Program("oob", lanes=1)
+        bad = prog.place_array(np.array([0, 99]), INDEX_BYTES, "idx")
+        data = prog.place_array(np.zeros(4), VALUE_BYTES, "data")
+        layer = prog.add_layer(LayerMode.SINGLE)
+        tu = layer.dns_fbrt(beg=0, end=2)
+        chase = tu.add_mem_stream(bad, name="chase")
+        victim = tu.add_mem_stream(data, parent=chase, name="victim")
+        layer.add_callback(Event.GITE, "pt", [layer.vec_operand([victim])])
+        return prog, None, None
+
+    return {
+        "empty_fibers": empty_fibers,
+        "negative_stride": negative_stride,
+        "stream_offset": stream_offset,
+        "unsorted_disj": unsorted_disj,
+        "oob_chase": oob_chase,
+    }
+
+
+@pytest.mark.parametrize("case", sorted(_directed_cases()))
+def test_directed_edge_case_parity(case):
+    _assert_parity(_directed_cases()[case], label=case)
+
+
+def test_error_cases_actually_error():
+    """Guard the two failure-parity cases against silently passing."""
+    cases = _directed_cases()
+    assert "error" in _run_engine(cases["unsorted_disj"], fast=True)
+    assert "error" in _run_engine(cases["oob_chase"], fast=True)
