@@ -1,0 +1,104 @@
+"""Watch a running simulation service through its observability plane.
+
+The service exposes three operational endpoints next to the JSON API:
+
+* ``GET /healthz`` — liveness (does the process answer?),
+* ``GET /readyz``  — readiness (scheduler supervisor alive, queue
+  accepting, journal writable; 503 the moment any check fails),
+* ``GET /metrics`` — the whole telemetry registry as Prometheus text
+  exposition, with scrape-time gauges (queue depth, per-state job
+  counts) refreshed on every scrape.
+
+This example boots a service on an ephemeral port, submits a sweep,
+and plays the role of a monitoring agent: it polls ``/readyz`` and
+``/metrics`` with plain ``urllib`` while the job runs, prints the
+serve-side series it finds, and finally demonstrates the readiness
+flip when the scheduler is stopped.
+
+Run:  PYTHONPATH=src python examples/watch_service.py
+"""
+
+import json
+import tempfile
+import threading
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+from repro.serve import ServeClient, SimService, make_server, make_sweep
+
+state = Path(tempfile.mkdtemp(prefix="repro-watch-example-"))
+
+
+def get(url):
+    """(status, body) without raising on 4xx/5xx — probes must read
+    the body of an unhealthy answer, not crash on it."""
+    try:
+        with urllib.request.urlopen(url, timeout=30) as resp:
+            return resp.status, resp.read().decode("utf-8")
+    except urllib.error.HTTPError as err:
+        return err.code, err.read().decode("utf-8")
+
+
+# ------------------------------------------------------ boot the service
+service = SimService(state_dir=state / "state",
+                     cache_dir=state / "cache", telemetry=True)
+service.start()
+server = make_server(service, port=0, quiet=True)
+threading.Thread(target=server.serve_forever, daemon=True).start()
+base = f"http://127.0.0.1:{server.server_address[1]}"
+
+status, body = get(base + "/healthz")
+assert status == 200, body
+status, body = get(base + "/readyz")
+assert status == 200 and json.loads(body)["ready"], body
+print(f"service on {base}: live and ready")
+
+# ----------------------------------------------- submit work, then watch
+job = ServeClient(base).submit(
+    make_sweep(workloads=["spmv"], inputs=["M1", "M2"]),
+    client="watcher")
+print(f"submitted job {job['id'][:12]} ({job['total']} cells); "
+      "scraping while it runs")
+
+while True:
+    _, metrics = get(base + "/metrics")
+    depth = queued = None
+    for line in metrics.splitlines():
+        if line.startswith("repro_serve_queue_depth{"):
+            depth = line.rsplit(" ", 1)[1]
+        elif line.startswith("repro_serve_jobs{") and '"running"' in line:
+            queued = line.rsplit(" ", 1)[1]
+    print(f"  scrape: queue_depth={depth} running_jobs={queued}")
+    state_now = json.loads(get(f"{base}/v1/jobs/{job['id']}")[1])["state"]
+    if state_now not in ("pending", "running"):
+        break
+    time.sleep(0.5)
+print(f"job finished: {state_now}")
+
+# ------------------------------- what a Prometheus scrape actually sees
+_, metrics = get(base + "/metrics")
+serve_series = sorted({line.split("{", 1)[0]
+                       for line in metrics.splitlines()
+                       if line.startswith("repro_serve_")})
+print(f"{len(serve_series)} serve-side series families:")
+for name in serve_series:
+    print(f"  {name}")
+assert "repro_serve_http_latency_ms_bucket" in serve_series
+assert "repro_serve_client_cells" in serve_series
+
+# ------------------------------------------------- the readiness flip
+# Liveness and readiness answer different questions: stop the
+# scheduler supervisor and the process still answers /healthz, but
+# /readyz turns 503 so an orchestrator drains traffic instead of
+# killing the pod.
+service.scheduler.stop()
+status, body = get(base + "/readyz")
+checks = json.loads(body)["checks"]
+assert status == 503 and checks["scheduler"] is False, body
+assert get(base + "/healthz")[0] == 200
+print(f"scheduler stopped -> /readyz 503 {checks}, /healthz still 200")
+
+server.shutdown()
+service.stop()

@@ -21,6 +21,7 @@ Usage::
     python -m repro ingest BENCH_*.json --store results.sqlite
     python -m repro query cells-per-sec --by rev --store results.sqlite
     python -m repro query regressions --bound 0.2 --store results.sqlite
+    python -m repro report --store results.sqlite --out report.html
     tmu-repro table6
 
 Simulation cells are executed through :mod:`repro.runtime`: results
@@ -49,11 +50,18 @@ snapshot / trace, when recorded) into the queryable experiment
 database (:mod:`repro.store`); ``ingest`` feeds it existing result
 files and ``query`` runs cross-run analytics over it — including the
 ``regressions`` gate the ``store-smoke`` CI job exits on.
+
+``report`` renders that database as a self-contained HTML flight
+recorder (:mod:`repro.obs.report`): inline SVG charts for cells/sec
+by rev and per-layer stall shares, plus run/cell/span tables — one
+file with no external assets, built from the same query functions as
+``repro query`` so the numbers always agree.
 """
 
 from __future__ import annotations
 
 import argparse
+import functools
 import json
 import os
 import sys
@@ -89,6 +97,19 @@ _COMMANDS = {
 }
 
 _CACHE_COMMANDS = ("cache-gc", "cache-clear")
+
+
+def _pipe_safe(fn):
+    """Exit cleanly when stdout's pipe closes mid-print (``| head``):
+    the reader got everything it asked for, which is success."""
+    @functools.wraps(fn)
+    def wrapped(argv):
+        try:
+            return fn(argv)
+        except BrokenPipeError:
+            sys.stderr.close()  # suppress the interpreter's epilogue
+            return 0
+    return wrapped
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -504,6 +525,7 @@ def _build_query_parser() -> argparse.ArgumentParser:
     return parser
 
 
+@_pipe_safe
 def _ingest_main(argv: list[str]) -> int:
     from . import store as st
 
@@ -582,6 +604,50 @@ def _fmt_cli(value) -> str:
     return str(value)
 
 
+# ------------------------------------------------------------------ report
+
+def _build_report_parser() -> argparse.ArgumentParser:
+    from .store import DEFAULT_STORE_PATH as default_store
+
+    parser = argparse.ArgumentParser(
+        prog="tmu-repro report",
+        description="Render the experiment database as a self-"
+                    "contained HTML flight recorder (inline SVG "
+                    "charts, no external assets).",
+    )
+    parser.add_argument("--store", default=default_store, metavar="DB",
+                        help="experiment database to render "
+                             f"(default: {default_store})")
+    parser.add_argument("--out", default="report.html", metavar="PATH",
+                        help="output HTML file (default: report.html)")
+    parser.add_argument("--title", default="repro flight recorder",
+                        metavar="TITLE", help="page title")
+    return parser
+
+
+@_pipe_safe
+def _report_main(argv: list[str]) -> int:
+    from .obs.report import write_report
+    from .store import ExperimentStore
+
+    args = _build_report_parser().parse_args(argv)
+    if not Path(args.store).exists():
+        # opening would silently create an empty database; a report
+        # over nothing is a typo'd path, not a request
+        print(f"error: no experiment database at {args.store}",
+              file=sys.stderr)
+        return 2
+    try:
+        with ExperimentStore(args.store) as db:
+            runs = db.counts()["runs"]
+            path = write_report(db, args.out, title=args.title)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"report: {path} ({runs} runs from {args.store})")
+    return 0
+
+
 # ------------------------------------------------------------------- serve
 
 def _build_serve_parser() -> argparse.ArgumentParser:
@@ -633,6 +699,10 @@ def _build_serve_parser() -> argparse.ArgumentParser:
     parser.add_argument("--store", default=None, metavar="DB",
                         help="auto-ingest every finished job's journal "
                              "into the experiment database at DB")
+    parser.add_argument("--log-level", default="info",
+                        choices=("debug", "info", "warning", "error"),
+                        help="structured JSON log level on stderr "
+                             "(default: info)")
     return parser
 
 
@@ -704,9 +774,15 @@ def _build_jobs_parser() -> argparse.ArgumentParser:
 
 
 def _serve_main(argv: list[str]) -> int:
+    import logging as pylog
+
     from .serve import SimService, make_server
 
     args = _build_serve_parser().parse_args(argv)
+    # the service logs structured JSON to stderr — one object per
+    # line, every record carrying its correlation context.
+    obs.configure_logging(level=args.log_level)
+    log = obs.get_logger("serve")
     try:
         service = SimService(
             state_dir=args.state_dir, cache_dir=args.cache_dir,
@@ -723,22 +799,23 @@ def _serve_main(argv: list[str]) -> int:
     port = server.server_address[1]
     if args.port_file:
         Path(args.port_file).write_text(str(port), encoding="utf-8")
-    print(f"serve: listening on http://{args.host}:{port} "
-          f"(state: {args.state_dir}, cache: {args.cache_dir}, "
-          f"workers={args.workers}, jobs={args.jobs}"
-          + (f"; recovered {recovered} job(s)" if recovered else "")
-          + ")",
-          file=sys.stderr)
+    obs.log_event(log, pylog.INFO, "listening",
+                  url=f"http://{args.host}:{port}",
+                  state_dir=str(args.state_dir),
+                  cache_dir=str(args.cache_dir),
+                  workers=args.workers, jobs=args.jobs,
+                  recovered=recovered)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
-        print("serve: shutting down", file=sys.stderr)
+        obs.log_event(log, pylog.INFO, "shutting down")
     finally:
         server.shutdown()
         service.stop()
     return 0
 
 
+@_pipe_safe
 def _submit_main(argv: list[str]) -> int:
     from .serve import ServeClient, make_sweep
 
@@ -779,6 +856,7 @@ def _submit_main(argv: list[str]) -> int:
     return 0 if job["state"] in ("pending", "running", "done") else 1
 
 
+@_pipe_safe
 def _jobs_main(argv: list[str]) -> int:
     args = _build_jobs_parser().parse_args(argv)
     from .serve import ServeClient
@@ -804,6 +882,7 @@ def _jobs_main(argv: list[str]) -> int:
     return 0
 
 
+@_pipe_safe
 def _fetch_main(argv: list[str]) -> int:
     args = _build_fetch_parser().parse_args(argv)
     from .serve import ServeClient
@@ -876,6 +955,8 @@ def main(argv: list[str] | None = None) -> int:
         return _ingest_main(argv[1:])
     if argv and argv[0] == "query":
         return _query_main(argv[1:])
+    if argv and argv[0] == "report":
+        return _report_main(argv[1:])
     if argv and argv[0] in _SERVICE_COMMANDS:
         return _SERVICE_COMMANDS[argv[0]](argv[1:])
     args = _build_parser().parse_args(argv)
@@ -935,6 +1016,11 @@ def main(argv: list[str] | None = None) -> int:
         obs.disable()
         obs.disable_tracing()
         return 1
+    except BrokenPipeError:
+        sys.stderr.close()
+        obs.disable()
+        obs.disable_tracing()
+        return 0
     finally:
         set_default_fast(True)
 

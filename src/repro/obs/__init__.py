@@ -31,6 +31,15 @@ an event timeline (spans / instants / counter samples on the same
 dotted paths) behind its own switch (:func:`enable_tracing` /
 :func:`trace_capture`), exported to Perfetto or folded into a stall
 report by :mod:`repro.obs.export` and the ``repro trace`` CLI.
+
+The *live* plane renders the same data while a process runs:
+:mod:`repro.obs.live` turns any registry into Prometheus text
+exposition (mounted at ``GET /metrics`` by ``repro serve``),
+:mod:`repro.obs.logging` is the structured JSON log layer with
+contextvar correlation ids, and :mod:`repro.obs.report` renders the
+experiment store as a self-contained HTML flight recorder (``repro
+report``; imported lazily by the CLI, not re-exported here, because it
+reads from :mod:`repro.store`).
 """
 
 from __future__ import annotations
@@ -48,6 +57,13 @@ from .metrics import (
     Timer,
 )
 from .registry import PrefixedRegistry, Registry, add_deltas
+from .live import PROM_CONTENT_TYPE, to_prometheus
+from .logging import (
+    configure as configure_logging,
+    correlation,
+    get_logger,
+    log_event,
+)
 from .export import (
     fold_trace,
     stall_report,
@@ -135,6 +151,12 @@ __all__ = [
     "write_perfetto",
     "fold_trace",
     "stall_report",
+    "to_prometheus",
+    "PROM_CONTENT_TYPE",
+    "configure_logging",
+    "correlation",
+    "get_logger",
+    "log_event",
 ]
 
 _active: Registry | None = None

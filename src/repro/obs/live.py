@@ -1,0 +1,169 @@
+"""Live metric exposition: Prometheus text format for any registry.
+
+:func:`to_prometheus` renders a ``repro.obs/1`` snapshot (or a live
+:class:`~repro.obs.registry.Registry`) as Prometheus text exposition
+(version 0.0.4), so the metrics the simulator already collects become
+scrapable the instant a server mounts them — no second metric system,
+no translation tables to keep in sync.
+
+Mapping rules, applied uniformly:
+
+* dotted paths become ``repro_``-prefixed underscore names
+  (``serve.queue_depth`` → ``repro_serve_queue_depth``); characters
+  outside ``[a-zA-Z0-9_]`` are folded to ``_``;
+* a few well-known path families carry an identity in one path
+  segment — that segment becomes a *label* instead of a name
+  fragment, so Prometheus sees one series family with a ``client``,
+  ``route``, or ``state`` dimension (see ``LABEL_RULES``);
+* counters export their value verbatim; gauges export the value plus a
+  ``<name>_high_water`` companion; power-of-two histograms become
+  cumulative ``_bucket{le="2^k"}`` series plus ``_sum``/``_count``;
+  timers become ``<name>_seconds`` summaries (``_sum``/``_count``).
+
+Label values are escaped per the exposition spec (backslash, double
+quote, newline).  Series of one family are emitted under a single
+``# TYPE`` header, sorted, so the output is deterministic and
+diff-able.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from .registry import Registry
+from .snapshot import make_snapshot
+
+#: the Content-Type a /metrics endpoint must declare
+PROM_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: path families whose third-ish segment is an identity, not a name:
+#: (dotted prefix, label key).  ``serve.client.ci.cells`` renders as
+#: ``repro_serve_client_cells{client="ci"}``; a family with nothing
+#: after the identity segment (``serve.jobs.done``) renders as
+#: ``repro_serve_jobs{state="done"}``.
+LABEL_RULES = (
+    ("serve.client.", "client"),
+    ("serve.http.", "route"),
+    ("serve.jobs.", "state"),
+)
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_]")
+
+_KIND_TO_TYPE = {
+    "counters": "counter",
+    "gauges": "gauge",
+    "histograms": "histogram",
+    "timers": "summary",
+}
+
+
+def _prom_name(family: str) -> str:
+    name = _NAME_OK.sub("_", family.replace(".", "_"))
+    if name and name[0].isdigit():
+        name = "_" + name
+    return "repro_" + name
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the text-exposition spec."""
+    return (str(value).replace("\\", "\\\\").replace("\n", "\\n")
+            .replace('"', '\\"'))
+
+
+def _split_path(path: str) -> tuple[str, dict[str, str]]:
+    """Split a dotted path into (family, labels) via LABEL_RULES."""
+    for prefix, key in LABEL_RULES:
+        if path.startswith(prefix):
+            rest = path[len(prefix):]
+            value, _, tail = rest.partition(".")
+            if not value:
+                break
+            family = prefix.rstrip(".") + ("." + tail if tail else "")
+            return family, {key: value}
+    return path, {}
+
+
+def _render_labels(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    body = ",".join(
+        f'{k}="{escape_label_value(v)}"' for k, v in sorted(labels.items()))
+    return "{" + body + "}"
+
+
+def _fmt_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _bucket_upper(exponent: int) -> str:
+    """The ``le`` bound of power-of-two bucket ``exponent``."""
+    return _fmt_value(float(2 ** exponent)) if exponent else "1"
+
+
+def _series_of(kind: str, name: str, labels: dict, data) -> list[tuple]:
+    """Expand one metric into ``(family_suffix, labels, value)`` rows."""
+    if kind == "counters":
+        return [("", labels, float(data))]
+    if kind == "gauges":
+        return [("", labels, float(data["value"])),
+                ("_high_water", labels, float(data["high_water"]))]
+    if kind == "timers":
+        return [("_seconds_count", labels, float(data["count"])),
+                ("_seconds_sum", labels, float(data["total_s"]))]
+    # histograms: cumulative pow2 buckets + +Inf + sum/count
+    rows = []
+    cumulative = 0
+    for exponent in sorted(int(b) for b in data["buckets"]):
+        cumulative += data["buckets"][str(exponent)]
+        rows.append(("_bucket",
+                     {**labels, "le": _bucket_upper(exponent)},
+                     float(cumulative)))
+    rows.append(("_bucket", {**labels, "le": "+Inf"},
+                 float(data["count"])))
+    rows.append(("_sum", labels, float(data["total"])))
+    rows.append(("_count", labels, float(data["count"])))
+    return rows
+
+
+def to_prometheus(snap: dict | Registry,
+                  labels: dict[str, str] | None = None) -> str:
+    """Render a snapshot (or live registry) as text exposition.
+
+    ``labels`` (e.g. ``{"job": "repro-serve"}``) are stamped onto
+    every emitted series.
+    """
+    if isinstance(snap, Registry):
+        snap = make_snapshot(snap)
+    base_labels = dict(labels or {})
+    # family name -> (prom type, [(suffix, labels, value), ...])
+    families: dict[str, tuple[str, list[tuple]]] = {}
+    for kind, prom_type in _KIND_TO_TYPE.items():
+        for path, data in snap.get(kind, {}).items():
+            family, extracted = _split_path(path)
+            merged = {**base_labels, **extracted}
+            rows = _series_of(kind, path, merged, data)
+            entry = families.setdefault(family, (prom_type, []))
+            if entry[0] != prom_type:
+                # same family under two kinds: keep them apart by
+                # emitting the later one under its full path instead.
+                entry = families.setdefault(path, (prom_type, []))
+            entry[1].extend(rows)
+    lines: list[str] = []
+    for family in sorted(families):
+        prom_type, rows = families[family]
+        name = _prom_name(family)
+        lines.append(f"# HELP {name} repro metric {family}")
+        lines.append(f"# TYPE {name} {prom_type}")
+        for suffix, row_labels, value in rows:
+            lines.append(f"{name}{suffix}{_render_labels(row_labels)} "
+                         f"{_fmt_value(value)}")
+    return "\n".join(lines) + "\n"

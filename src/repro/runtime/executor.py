@@ -19,7 +19,10 @@ the sweep.
 
 from __future__ import annotations
 
+import logging
+import os
 import time
+import uuid
 from contextlib import ExitStack
 from concurrent.futures import ProcessPoolExecutor, TimeoutError as \
     FutureTimeoutError
@@ -31,13 +34,22 @@ __all__ = ["ProgressEvent", "TaskOutcome", "RunReport", "Runtime"]
 
 from .. import obs
 from ..errors import ExecutorError, StoreError
+from ..obs.logging import (
+    correlation,
+    get_logger,
+    log_event,
+    worker_context,
+)
 from .cache import NullCache, ResultCache
 from .manifest import ManifestEntry, RunManifest, manifest_rev
 from .task import SimTask, run_from_record
 
+_log = get_logger("runtime.executor")
+
 
 def _evaluate_task(task: SimTask, capture_telemetry: bool = False,
-                   capture_trace: bool = False) -> dict:
+                   capture_trace: bool = False,
+                   log_context: dict | None = None) -> dict:
     """Module-level worker entry point (must be picklable).
 
     ``capture_telemetry`` / ``capture_trace`` are set on process-pool
@@ -48,15 +60,27 @@ def _evaluate_task(task: SimTask, capture_telemetry: bool = False,
     so per-layer simulator metrics and the event timeline survive the
     process boundary.  In-process evaluation records into the parent
     registry/tracer directly.
+
+    ``log_context`` is the parent's correlation context, shipped
+    explicitly because contextvars do not cross the process boundary;
+    the worker rebinds it (plus its own pid and the cell's hash) so
+    its structured log records carry the same ``run_key``/``job_id``
+    as the parent's.
     """
-    if not capture_telemetry and not capture_trace:
-        return task.evaluate()
     with ExitStack() as stack:
+        if log_context is not None:
+            stack.enter_context(correlation(
+                **log_context, worker_pid=os.getpid(),
+                task_hash=task.content_hash()))
         registry = stack.enter_context(obs.capture()) if (
             capture_telemetry) else None
         tracer = stack.enter_context(obs.trace_capture()) if (
             capture_trace) else None
+        started = time.perf_counter()
         record = task.evaluate()
+        log_event(_log, logging.DEBUG, "cell evaluated",
+                  label=getattr(task, "label", None),
+                  elapsed=round(time.perf_counter() - started, 6))
     if registry is not None:
         record["telemetry"] = registry.as_dict()
     if tracer is not None:
@@ -168,13 +192,23 @@ class Runtime:
         self.store_path = store
         self.last_manifest: RunManifest | None = None
         self.manifests: list[RunManifest] = []
+        #: correlation id tying every log record of this runtime's
+        #: batches (and its workers') together.
+        self.run_key = uuid.uuid4().hex[:12]
 
     # ------------------------------------------------------------- helpers
 
+    _LOG_LEVELS = {"pool": logging.WARNING, "store": logging.WARNING,
+                   "cell": logging.INFO, "batch": logging.INFO,
+                   "summary": logging.INFO}
+
     def _emit(self, kind: str, message: str, **fields) -> None:
+        event = ProgressEvent(kind=kind, message=message, **fields)
+        log_event(_log, self._LOG_LEVELS.get(kind, logging.INFO),
+                  message, **{k: v for k, v in event.as_dict().items()
+                              if k != "message"})
         if self.progress is not None:
-            self.progress(ProgressEvent(kind=kind, message=message,
-                                        **fields))
+            self.progress(event)
 
     def _attempt_serial(self, task: SimTask,
                         first_attempt: int = 1) -> TaskOutcome:
@@ -238,9 +272,13 @@ class Runtime:
                 # process): pool processes do not share the parent's
                 # config defaults, so an unpinned task could resolve to
                 # a different machine than the one its hash names.
+                # Ship the correlation context explicitly: contextvars
+                # do not cross process boundaries.
+                shipped = worker_context({"run_key": self.run_key})
                 futures = [(i, pool.submit(_evaluate_task, t.resolved(),
                                            obs.enabled(),
-                                           obs.tracing_enabled()))
+                                           obs.tracing_enabled(),
+                                           shipped))
                            for i, t in enumerate(tasks)]
             except BrokenProcessPool:
                 self._emit("pool", "process pool broke on submit; "
@@ -308,6 +346,10 @@ class Runtime:
 
     def run(self, tasks: Iterable[SimTask]) -> RunReport:
         """Execute a batch of cells: cache lookups, then fan-out."""
+        with correlation(run_key=self.run_key):
+            return self._run_correlated(tasks)
+
+    def _run_correlated(self, tasks: Iterable[SimTask]) -> RunReport:
         start = time.perf_counter()
         ordered: list[SimTask] = []
         by_hash: dict[str, SimTask] = {}
@@ -429,7 +471,10 @@ class Runtime:
                 ingest_manifest(store, manifest,
                                 source="runtime.executor")
         except StoreError as exc:
+            # _emit already logs this at WARNING; the counter makes it
+            # visible on a live server's /metrics.
             self._emit("store", f"store ingest failed: {exc}")
+            obs.counter("store.ingest_failures").add()
 
     def run_cells(self, tasks: Iterable[SimTask]) -> dict[SimTask, object]:
         """Run a batch and return ``{task: WorkloadRun}``; raises

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import enum
 import json
+import logging
 import os
 import threading
 import time
@@ -28,7 +29,10 @@ from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
 from ..errors import ServeError
+from ..obs.logging import get_logger, log_event
 from .protocol import SERVE_SCHEMA
+
+_log = get_logger("serve.jobs")
 
 
 class JobState(str, enum.Enum):
@@ -182,9 +186,17 @@ class JobStore:
             try:
                 jobs.append(Job.from_dict(
                     json.loads(path.read_text(encoding="utf-8"))))
-            except (OSError, json.JSONDecodeError):
+            except (OSError, json.JSONDecodeError) as exc:
+                log_event(_log, logging.WARNING,
+                          "skipping corrupt job record",
+                          record=path.name, error=str(exc))
                 continue
         return sorted(jobs, key=lambda j: (j.created_at, j.id))
+
+    def writable(self) -> bool:
+        """Whether the journal directory accepts writes (readiness
+        probe — a full or read-only disk must flip ``/readyz``)."""
+        return self.root.is_dir() and os.access(self.root, os.W_OK)
 
     # ------------------------------------------------------ event journal
 

@@ -43,6 +43,22 @@ class JobQueue:
         self._tombstones: set[str] = set()
         self._active: Counter[str] = Counter()
         self._cond = threading.Condition()
+        self._closed = False
+
+    # ----------------------------------------------------------- lifecycle
+
+    @property
+    def accepting(self) -> bool:
+        """Whether :meth:`push` will take new work (readiness probe)."""
+        with self._cond:
+            return not self._closed
+
+    def close(self) -> None:
+        """Stop accepting submissions (service shutdown); queued work
+        already accepted still pops normally."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
 
     # ------------------------------------------------------------ submit
 
@@ -51,6 +67,8 @@ class JobQueue:
         """Enqueue a job and reserve one slot of the client's quota
         (held until :meth:`release`)."""
         with self._cond:
+            if self._closed:
+                raise ServeError("queue is closed to new submissions")
             if job_id in self._queued:
                 return  # already waiting; keep its original position
             if enforce_quota and self._active[client] >= self.quota:

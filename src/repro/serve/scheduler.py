@@ -25,18 +25,22 @@ finished job carries a ``repro.obs/1`` snapshot on its record.
 
 from __future__ import annotations
 
+import logging
 import threading
 import time
 from typing import Callable
 
 from .. import obs
 from ..errors import ServeError
+from ..obs.logging import correlation, get_logger, log_event
 from ..runtime.cache import NullCache, ResultCache
 from ..runtime.executor import ProgressEvent, Runtime
 from ..runtime.task import task_from_spec
 from .jobs import Job, JobState, JobStore
 from .protocol import Submission, SweepSpec, job_id_for
 from .queue import JobQueue, QuotaError
+
+_log = get_logger("serve.scheduler")
 
 #: cells per executor batch: small enough that cancel latency and
 #: journal granularity stay at "a few cells", large enough to amortize
@@ -98,6 +102,14 @@ class Scheduler:
         if self._supervisor is not None:
             self._supervisor.join(timeout)
         self._threads = []
+
+    @property
+    def alive(self) -> bool:
+        """Whether the supervision loop is running (readiness probe):
+        started, not stopped, and the supervisor thread still lives."""
+        return (not self._stop.is_set()
+                and self._supervisor is not None
+                and self._supervisor.is_alive())
 
     def _spawn(self, slot: int) -> threading.Thread:
         thread = threading.Thread(target=self._worker_loop,
@@ -165,6 +177,10 @@ class Scheduler:
                 "client": job.client, "priority": job.priority,
                 "cells": job.total,
             })
+            log_event(_log, logging.INFO,
+                      "job submitted" if created else "job resubmitted",
+                      job_id=job_id, client=job.client,
+                      cells=job.total, priority=job.priority)
             self._update_gauges()
             return job, created
 
@@ -188,6 +204,8 @@ class Scheduler:
                     "event": "cancelled", "message": "while queued"})
             else:
                 self._cancel_requested.add(job_id)
+            log_event(_log, logging.INFO, "job cancellation requested",
+                      job_id=job_id, state=job.state.value)
             self._update_gauges()
             return job
 
@@ -222,6 +240,9 @@ class Scheduler:
             if job.state.terminal:
                 return
             reason = f"{type(exc).__name__}: {exc}"
+            log_event(_log, logging.WARNING, "worker died running job",
+                      job_id=job.id, error=reason,
+                      requeues=job.requeues)
             if job.requeues < self.max_requeues:
                 if job.state is JobState.RUNNING:
                     job.reopen()
@@ -248,12 +269,18 @@ class Scheduler:
     # -------------------------------------------------------- job driver
 
     def _run_job(self, job: Job) -> None:
+        with correlation(job_id=job.id, client=job.client):
+            self._run_job_correlated(job)
+
+    def _run_job_correlated(self, job: Job) -> None:
         job.advance(JobState.RUNNING)
         self.store.put(job)
         self.store.append_event(job.id, {
             "event": "started", "cells": job.total,
             "requeues": job.requeues,
         })
+        log_event(_log, logging.INFO, "job started",
+                  cells=job.total, requeues=job.requeues)
         tasks = [task_from_spec(spec) for spec in
                  self._cell_specs(job)]
         self._inflight[job.id] = len(tasks)
@@ -311,6 +338,13 @@ class Scheduler:
                 "completed": job.completed, "cached": job.cached,
                 "simulated": job.simulated, "failed": job.failed,
             })
+            log_event(_log,
+                      logging.INFO if job.state is JobState.DONE
+                      else logging.WARNING,
+                      f"job {job.state.value}",
+                      completed=job.completed, cached=job.cached,
+                      simulated=job.simulated, failed=job.failed,
+                      error=job.error)
         self._ingest_finished(job)
 
     def _finish_cancelled(self, job: Job) -> None:
@@ -328,8 +362,10 @@ class Scheduler:
     def _ingest_finished(self, job: Job) -> None:
         """Auto-ingest a finished job's journal into the experiment
         database when one is configured (``repro serve --store``).
-        Ingest failures are journaled as events, never raised — the
-        analytics layer must not take a job down with it."""
+        Ingest failures never raise — the analytics layer must not
+        take a job down with it — but they are journaled, logged at
+        WARNING, and counted (``repro_store_ingest_failures`` on
+        ``/metrics``) so they can't silently accumulate."""
         if self.store_path is None:
             return
         from ..errors import StoreError
@@ -344,6 +380,10 @@ class Scheduler:
             self.store.append_event(job.id, {
                 "event": "store-error",
                 "message": f"store ingest failed: {exc}"})
+            log_event(_log, logging.WARNING, "store ingest failed",
+                      job_id=job.id, store=self.store_path,
+                      error=str(exc))
+            obs.counter("store.ingest_failures").add()
 
     # ---------------------------------------------------------- telemetry
 

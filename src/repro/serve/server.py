@@ -17,17 +17,24 @@ job reaches a terminal state).
 from __future__ import annotations
 
 import json
+import logging
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from urllib.parse import parse_qs, urlparse
 
 from .. import obs
 from ..errors import ServeError
+from ..obs.live import PROM_CONTENT_TYPE, to_prometheus
+from ..obs.logging import get_logger, log_event
+from ..obs.registry import Registry
 from ..runtime.cache import NullCache, ResultCache
-from .jobs import JobStore
+from .jobs import JobState, JobStore
 from .protocol import SERVE_SCHEMA, Submission
 from .queue import DEFAULT_QUOTA, JobQueue, QuotaError
 from .scheduler import Scheduler
+
+_log = get_logger("serve.server")
 
 #: default service state (job journal) location, next to the cache.
 DEFAULT_STATE_DIR = ".repro-serve"
@@ -72,6 +79,7 @@ class SimService:
         return recovered
 
     def stop(self) -> None:
+        self.queue.close()
         self.scheduler.stop()
 
     # ----------------------------------------------------------- queries
@@ -110,6 +118,42 @@ class SimService:
             data["telemetry"] = obs.snapshot(meta={"source": "serve"})
         return data
 
+    # ------------------------------------------------------- observability
+
+    def readiness(self) -> dict:
+        """The ``/readyz`` body: ready iff the scheduler supervisor is
+        alive, the queue accepts submissions, and the journal is
+        writable."""
+        checks = {
+            "scheduler": self.scheduler.alive,
+            "queue": self.queue.accepting,
+            "store": self.store.writable(),
+        }
+        return {"schema": SERVE_SCHEMA,
+                "ready": all(checks.values()), "checks": checks}
+
+    def refresh_gauges(self, registry: Registry) -> None:
+        """Write the scrape-time service gauges into ``registry``:
+        queue depth, per-state job counts (zero-filled so every state
+        series exists from the first scrape), and readiness."""
+        view = registry.prefixed("serve")
+        view.gauge("queue_depth").set(float(self.queue.depth))
+        counts = dict.fromkeys((s.value for s in JobState), 0)
+        for job in self.store.list():
+            counts[job.state.value] += 1
+        for state, n in counts.items():
+            view.gauge(f"jobs.{state}").set(float(n))
+        view.gauge("ready").set(
+            1.0 if self.readiness()["ready"] else 0.0)
+
+    def metrics_registry(self) -> Registry:
+        """The registry ``/metrics`` renders: the live telemetry
+        registry when enabled (refreshed with scrape-time gauges),
+        else a fresh registry carrying the gauges alone."""
+        registry = obs.active() if obs.enabled() else Registry()
+        self.refresh_gauges(registry)
+        return registry
+
 
 class ServeHTTPServer(ThreadingHTTPServer):
     """ThreadingHTTPServer carrying the service object for handlers."""
@@ -131,7 +175,8 @@ class _Handler(BaseHTTPRequestHandler):
 
     def log_message(self, fmt, *args):  # noqa: A003
         if not self.server.quiet:
-            super().log_message(fmt, *args)
+            log_event(_log, logging.INFO, fmt % args,
+                      peer=self.client_address[0])
 
     @property
     def service(self) -> SimService:
@@ -160,13 +205,42 @@ class _Handler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------- routes
 
     def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        self._dispatch("GET", self._route_get)
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._dispatch("POST", self._route_post)
+
+    def _dispatch(self, method: str, route_fn) -> None:
+        """Run one request through its router, recording a per-route
+        request counter and latency histogram (``serve.http.<route>.*``
+        — the route segment becomes a label on ``/metrics``)."""
         url = urlparse(self.path)
         parts = [p for p in url.path.split("/") if p]
+        route = _route_label(method, parts)
+        start = time.perf_counter()
+        try:
+            route_fn(url, parts)
+        finally:
+            elapsed_ms = (time.perf_counter() - start) * 1e3
+            if obs.enabled():
+                view = obs.active().prefixed(f"serve.http.{route}")
+                view.counter("requests").add()
+                view.histogram("latency_ms").record(elapsed_ms)
+            log_event(_log, logging.DEBUG, f"{method} {url.path}",
+                      route=route, latency_ms=round(elapsed_ms, 3),
+                      peer=self.client_address[0])
+
+    def _route_get(self, url, parts: list[str]) -> None:
         query = parse_qs(url.query)
         try:
             if parts == ["healthz"]:
                 self._send_json(200, {"ok": True,
                                       "schema": SERVE_SCHEMA})
+            elif parts == ["readyz"]:
+                ready = self.service.readiness()
+                self._send_json(200 if ready["ready"] else 503, ready)
+            elif parts == ["metrics"]:
+                self._get_metrics()
             elif parts == ["v1", "stats"]:
                 self._send_json(200, self.service.stats())
             elif parts == ["v1", "jobs"]:
@@ -186,8 +260,7 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_error_json(404 if "unknown job" in str(exc)
                                   else 400, str(exc))
 
-    def do_POST(self) -> None:  # noqa: N802
-        parts = [p for p in urlparse(self.path).path.split("/") if p]
+    def _route_post(self, url, parts: list[str]) -> None:
         try:
             if parts == ["v1", "jobs"]:
                 submission = Submission.from_dict(self._read_body())
@@ -205,6 +278,27 @@ class _Handler(BaseHTTPRequestHandler):
         except ServeError as exc:
             self._send_error_json(404 if "unknown job" in str(exc)
                                   else 400, str(exc))
+
+    # ------------------------------------------------------------ metrics
+
+    def _get_metrics(self) -> None:
+        registry = self.service.metrics_registry()
+        # worker threads mutate the registry mid-scrape; snapshotting
+        # iterates it, so retry the rare torn iteration.
+        for attempt in range(3):
+            try:
+                text = to_prometheus(registry,
+                                     labels={"job": "repro-serve"})
+                break
+            except RuntimeError:
+                if attempt == 2:
+                    raise
+        payload = text.encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type", PROM_CONTENT_TYPE)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
 
     # ----------------------------------------------------- result/events
 
@@ -257,6 +351,24 @@ class _Handler(BaseHTTPRequestHandler):
         self.wfile.write(f"{len(data):x}\r\n".encode("ascii"))
         self.wfile.write(data + b"\r\n")
         self.wfile.flush()
+
+
+def _route_label(method: str, parts: list[str]) -> str:
+    """Normalize a request path to a bounded route-family label (job
+    ids must never become label values — cardinality)."""
+    if parts in (["healthz"], ["readyz"], ["metrics"]):
+        return parts[0]
+    if parts == ["v1", "stats"]:
+        return "stats"
+    if parts[:2] == ["v1", "jobs"]:
+        if len(parts) == 2:
+            return "jobs_submit" if method == "POST" else "jobs_list"
+        if len(parts) == 3:
+            return "job_get"
+        if len(parts) == 4 and parts[3] in ("result", "events",
+                                            "cancel"):
+            return f"job_{parts[3]}"
+    return "other"
 
 
 def make_server(service: SimService, host: str = DEFAULT_HOST,

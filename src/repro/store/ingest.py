@@ -39,6 +39,9 @@ from .store import ExperimentStore
 #: the headline metric the store derives for every run kind
 HEADLINE_METRIC = "runtime.executor.cells_per_sec"
 
+#: trace_summaries name prefix for per-span duration histograms
+DURATION_PREFIX = "durations:"
+
 
 def _run_key(kind: str, payload) -> str:
     """Content address of an ingested source (kind-prefixed sha256)."""
@@ -261,6 +264,13 @@ def ingest_trace(store: ExperimentStore, trace: dict | str | Path, *,
     store.add_trace_summaries(run_id, [
         (track, name, args)
         for (track, name), args in sorted(folded["summaries"].items())
+    ] + [
+        # span-length histograms ride along under a prefixed name so
+        # the query layer can answer percentile questions later; they
+        # are derived data, deliberately outside the run_key payload.
+        (track, f"{DURATION_PREFIX}{name}", hist.as_dict())
+        for (track, name), hist in sorted(folded["durations"].items())
+        if hist.count
     ])
     return _summary("trace", run_id, True, rev, source)
 

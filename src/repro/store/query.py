@@ -18,7 +18,8 @@ import io
 import json
 
 from ..errors import StoreError
-from .ingest import HEADLINE_METRIC
+from ..obs.metrics import Histogram
+from .ingest import DURATION_PREFIX, HEADLINE_METRIC
 from .store import ExperimentStore
 
 FORMATS = ("table", "csv", "json")
@@ -222,6 +223,48 @@ def stall_shares(store: ExperimentStore, by: str = "layer",
             g.pop("iterations")
         rows.append(g)
     return rows, STALL_COLUMNS[by]
+
+
+# ------------------------------------------------------------------ spans
+
+SPAN_COLUMNS = ["span", "traces", "count", "mean", "p50", "p95", "max"]
+
+
+def span_percentiles(store: ExperimentStore,
+                     ) -> tuple[list[dict], list[str]]:
+    """Span-duration percentiles from ingested traces (virtual ticks).
+
+    The ingest layer stores one power-of-two duration histogram per
+    (track, span name) per trace; this merges them across every
+    ingested trace and reads p50/p95 off the merged shape.
+    """
+    raw = store.sql(
+        "SELECT t.run_id, t.track, t.name, t.args "
+        "FROM trace_summaries t JOIN runs r ON r.id = t.run_id "
+        "WHERE t.name LIKE ? ORDER BY r.created_unix, r.id, t.track",
+        (DURATION_PREFIX + "%",))
+    merged: dict[str, Histogram] = {}
+    traces: dict[str, set] = {}
+    order: list[str] = []
+    for row in raw:
+        span = f"{row['track']}/{row['name'][len(DURATION_PREFIX):]}"
+        if span not in merged:
+            merged[span] = Histogram(span)
+            traces[span] = set()
+            order.append(span)
+        merged[span].merge(json.loads(row["args"]))
+        traces[span].add(row["run_id"])
+    rows = []
+    for span in sorted(order):
+        h = merged[span]
+        rows.append({
+            "span": span, "traces": len(traces[span]),
+            "count": h.count, "mean": round(h.mean, 4),
+            "p50": round(h.quantile(0.5), 4),
+            "p95": round(h.quantile(0.95), 4),
+            "max": h.max if h.count else None,
+        })
+    return rows, SPAN_COLUMNS
 
 
 # ------------------------------------------------------------- regressions

@@ -1,0 +1,57 @@
+"""Minimal Prometheus text-exposition (0.0.4) parser/validator.
+
+Imported by the test suite and runnable standalone from CI::
+
+    python -m tests.prometheus_checker metrics.txt
+
+Exits non-zero (ValueError) on any malformed line.  Deliberately tiny:
+it accepts exactly the subset :func:`repro.obs.live.to_prometheus`
+promises to emit, so drift in either direction fails loudly.
+"""
+
+import re
+import sys
+
+_SAMPLE = re.compile(
+    r'^(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)'
+    r'(?:\{(?P<labels>[^{}]*)\})? '
+    r'(?P<value>NaN|[+-]Inf|[-+0-9.e]+)$')
+_LABEL = re.compile(r'(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<val>[^"\\]*'
+                    r'(?:\\[\\"n][^"\\]*)*)"(?:,|$)')
+_UNESCAPE = {"\\\\": "\\", '\\"': '"', "\\n": "\n"}
+
+
+def parse_exposition(text):
+    """Parse exposition text into ``[(name, labels, value)]`` samples."""
+    samples, typed = [], {}
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line or line.startswith("# HELP"):
+            continue
+        if line.startswith("# TYPE"):
+            _, _, name, kind = line.split(None, 3)
+            if kind not in ("counter", "gauge", "histogram", "summary"):
+                raise ValueError(f"line {lineno}: bad TYPE {kind!r}")
+            if name in typed:
+                raise ValueError(f"line {lineno}: duplicate TYPE for {name}")
+            typed[name] = kind
+            continue
+        m = _SAMPLE.match(line)
+        if not m:
+            raise ValueError(f"line {lineno}: malformed sample: {line!r}")
+        labels = {}
+        for lm in _LABEL.finditer(m.group("labels") or ""):
+            val = re.sub(r'\\[\\"n]', lambda e: _UNESCAPE[e.group(0)],
+                         lm.group("val"))
+            labels[lm.group("key")] = val
+        value = float(m.group("value").replace("Inf", "inf"))
+        samples.append((m.group("name"), labels, value))
+    if not samples:
+        raise ValueError("no samples found")
+    return samples
+
+
+if __name__ == "__main__":
+    body = open(sys.argv[1]).read() if len(sys.argv) > 1 else sys.stdin.read()
+    parsed = parse_exposition(body)
+    print(f"ok: {len(parsed)} samples, "
+          f"{len({name for name, _, _ in parsed})} series names")

@@ -29,6 +29,7 @@ def test_every_example_is_covered():
         "trace_spmv.py",
         "submit_sweep.py",
         "query_trajectory.py",
+        "watch_service.py",
     }
 
 

@@ -148,6 +148,54 @@ class TestRegistry:
         assert parent.gauge("g").high_water == 5
         assert parent.timer("t").total == pytest.approx(0.25)
 
+    def test_merge_of_empty_worker_registry_is_a_no_op(self):
+        parent = Registry()
+        parent.counter("n").add(7)
+        parent.histogram("h").record(3)
+        before = parent.as_dict()
+        parent.merge(Registry().as_dict())
+        assert parent.as_dict() == before
+
+    def test_merge_histograms_with_mismatched_bucket_sets(self):
+        parent = Registry()
+        for v in (0.5, 1):            # bucket 0 only
+            parent.histogram("h").record(v)
+        worker = Registry()
+        for v in (100, 1000):         # buckets 7 and 10 only
+            worker.histogram("h").record(v)
+        parent.merge(worker.as_dict())
+        h = parent.histogram("h")
+        assert h.count == 4
+        assert h.buckets == {0: 2, 7: 1, 10: 1}
+        assert sum(h.buckets.values()) == h.count
+        assert (h.min, h.max) == (0.5, 1000)
+        # an empty-count body must not poison the exact envelope
+        # (its as_dict reports min=max=0.0 as placeholders)
+        h.merge(Registry().histogram("h").as_dict())
+        assert h.count == 4 and h.min == 0.5
+
+    def test_merge_timer_after_exception_unwound_starts(self):
+        worker = Registry()
+        t = worker.timer("work")
+        with pytest.raises(RuntimeError):
+            with t:
+                raise RuntimeError("cell died")
+        # the context manager observed on the way out and left no
+        # dangling start behind
+        assert t.count == 1 and t._starts == []
+        parent = Registry()
+        parent.merge(worker.as_dict())
+        merged = parent.timer("work")
+        assert merged.count == 1
+        assert merged.min == merged.max == pytest.approx(t.total)
+        # a never-exited timer ships count=0; merging it is a no-op
+        # rather than dragging min to the 0.0 placeholder
+        zombie = Registry()
+        zombie.timer("work").__enter__()
+        parent.merge(zombie.as_dict())
+        assert parent.timer("work").count == 1
+        assert parent.timer("work").min == pytest.approx(t.total)
+
     def test_add_deltas_never_double_counts(self):
         reg = Registry()
         seen: dict = {}

@@ -1,0 +1,130 @@
+"""Tests for repro.obs.live — Prometheus text exposition.
+
+Round-trips every rendering through ``tests.prometheus_checker`` (the
+same ~30-line parser CI uses against a live ``/metrics`` scrape), so
+the renderer and the validator can only drift together, loudly.
+"""
+
+import pytest
+
+from repro.obs import Registry
+from repro.obs.live import (
+    PROM_CONTENT_TYPE,
+    escape_label_value,
+    to_prometheus,
+)
+from tests.prometheus_checker import parse_exposition
+
+
+def render(reg, labels=None):
+    text = to_prometheus(reg, labels=labels)
+    return text, dict(((n, tuple(sorted(lb.items()))), v)
+                      for n, lb, v in parse_exposition(text))
+
+
+class TestRendering:
+    def test_counter_renders_verbatim_with_base_labels(self):
+        reg = Registry()
+        reg.counter("tmu.engine.runs").add(3)
+        text, samples = render(reg, labels={"job": "repro-serve"})
+        assert text.endswith("\n")
+        assert samples[("repro_tmu_engine_runs", (("job", "repro-serve"),))] \
+            == 3
+        assert "# TYPE repro_tmu_engine_runs counter" in text
+
+    def test_gauge_gets_high_water_twin(self):
+        reg = Registry()
+        g = reg.gauge("serve.queue_depth")
+        g.set(7)
+        g.set(2)
+        _, samples = render(reg)
+        assert samples[("repro_serve_queue_depth", ())] == 2
+        assert samples[("repro_serve_queue_depth_high_water", ())] == 7
+
+    def test_histogram_buckets_are_cumulative_pow2(self):
+        reg = Registry()
+        for v in (0.5, 1, 2, 3, 1000):
+            reg.histogram("lat").record(v)
+        _, samples = render(reg)
+        # buckets 0,1,2,10 -> le 1,2,4,1024, cumulative counts 2,3,4,5
+        assert samples[("repro_lat_bucket", (("le", "1"),))] == 2
+        assert samples[("repro_lat_bucket", (("le", "2"),))] == 3
+        assert samples[("repro_lat_bucket", (("le", "4"),))] == 4
+        assert samples[("repro_lat_bucket", (("le", "1024"),))] == 5
+        assert samples[("repro_lat_bucket", (("le", "+Inf"),))] == 5
+        assert samples[("repro_lat_count", ())] == 5
+        assert samples[("repro_lat_sum", ())] == pytest.approx(1006.5)
+
+    def test_timer_renders_as_summary(self):
+        reg = Registry()
+        reg.timer("sim.step").observe(0.25)
+        text, samples = render(reg)
+        assert "# TYPE repro_sim_step summary" in text
+        assert samples[("repro_sim_step_seconds_count", ())] == 1
+        assert samples[("repro_sim_step_seconds_sum", ())] \
+            == pytest.approx(0.25)
+
+    def test_output_is_deterministic(self):
+        reg = Registry()
+        reg.counter("b").add(1)
+        reg.counter("a").add(1)
+        reg.gauge("c").set(4)
+        assert to_prometheus(reg) == to_prometheus(reg)
+        lines = [ln for ln in to_prometheus(reg).splitlines()
+                 if not ln.startswith("#")]
+        assert lines == sorted(lines)
+
+    def test_content_type_pins_the_exposition_version(self):
+        assert "version=0.0.4" in PROM_CONTENT_TYPE
+
+
+class TestLabelRules:
+    def test_client_segment_becomes_a_label(self):
+        reg = Registry()
+        reg.counter("serve.client.ci.cells").add(12)
+        reg.counter("serve.client.dev.cells").add(3)
+        text, samples = render(reg)
+        assert samples[("repro_serve_client_cells", (("client", "ci"),))] \
+            == 12
+        assert samples[("repro_serve_client_cells", (("client", "dev"),))] \
+            == 3
+        # one family, one TYPE header
+        assert text.count("# TYPE repro_serve_client_cells ") == 1
+
+    def test_state_family_with_empty_tail(self):
+        reg = Registry()
+        reg.gauge("serve.jobs.done").set(4)
+        reg.gauge("serve.jobs.running").set(1)
+        _, samples = render(reg)
+        assert samples[("repro_serve_jobs", (("state", "done"),))] == 4
+        assert samples[("repro_serve_jobs", (("state", "running"),))] == 1
+
+    def test_route_label_composes_with_base_labels(self):
+        reg = Registry()
+        reg.counter("serve.http.metrics.requests").add(2)
+        _, samples = render(reg, labels={"job": "repro-serve"})
+        key = ("repro_serve_http_requests",
+               (("job", "repro-serve"), ("route", "metrics")))
+        assert samples[key] == 2
+
+
+class TestEscaping:
+    @pytest.mark.parametrize("raw", [
+        'quote " inside',
+        "back\\slash",
+        "new\nline",
+        '\\"mixed\\"\n',
+    ])
+    def test_label_values_round_trip_through_the_parser(self, raw):
+        escaped = escape_label_value(raw)
+        assert "\n" not in escaped
+        text = ('# TYPE repro_x counter\n'
+                f'repro_x{{client="{escaped}"}} 1\n')
+        samples = parse_exposition(text)
+        assert samples == [("repro_x", {"client": raw}, 1.0)]
+
+    def test_malformed_lines_are_rejected(self):
+        with pytest.raises(ValueError, match="malformed"):
+            parse_exposition("# TYPE repro_x counter\nrepro_x one\n")
+        with pytest.raises(ValueError, match="no samples"):
+            parse_exposition("# HELP repro_x hi\n")

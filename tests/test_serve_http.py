@@ -8,11 +8,15 @@ needs jobs that stay queued forever.
 from __future__ import annotations
 
 import threading
+import urllib.error
+import urllib.request
 
 import pytest
 
 from repro.errors import ServeError
+from repro.obs.live import PROM_CONTENT_TYPE
 from repro.serve import ServeClient, SimService, make_server, make_sweep
+from tests.prometheus_checker import parse_exposition
 
 
 @pytest.fixture(scope="module")
@@ -108,6 +112,85 @@ class TestEndToEnd:
         with pytest.raises(ServeError, match="400"):
             live.submit(make_sweep(workloads=["spmv"],
                                    inputs=["bogus"]))
+
+
+def _raw_get(url: str) -> tuple[int, dict, str]:
+    """GET without the JSON client: (status, headers, body text)."""
+    try:
+        with urllib.request.urlopen(url, timeout=30) as resp:
+            return resp.status, dict(resp.headers), \
+                resp.read().decode("utf-8")
+    except urllib.error.HTTPError as err:
+        return err.code, dict(err.headers), err.read().decode("utf-8")
+
+
+class TestObservabilityEndpoints:
+    def test_live_metrics_scrape(self, live):
+        """A real scrape mid-run: submit work, hit the other routes,
+        then parse /metrics with the same checker CI uses."""
+        # a sweep no other test submits, so these cells really run
+        # (a resubmit of a done job would never touch the scheduler's
+        # per-client counters)
+        job = live.submit(make_sweep(workloads=["spmv"], inputs=["M3"]),
+                          client="scrape-test")
+        live.wait(job["id"], timeout=120)
+        live.stats()
+        status, headers, body = _raw_get(live.base_url + "/metrics")
+        assert status == 200
+        assert headers["Content-Type"] == PROM_CONTENT_TYPE
+        samples = {(name, tuple(sorted(labels.items()))): value
+                   for name, labels, value in parse_exposition(body)}
+
+        def sample(name, **labels):
+            return samples[(name, tuple(sorted(
+                {"job": "repro-serve", **labels}.items())))]
+
+        # scrape-time service gauges
+        assert sample("repro_serve_queue_depth") >= 0
+        assert sample("repro_serve_ready") == 1
+        # per-state job gauges, zero-filled so every series exists
+        states = {"pending", "running", "done", "failed", "cancelled"}
+        for state in states:
+            assert sample("repro_serve_jobs", state=state) >= 0
+        assert sample("repro_serve_jobs", state="done") >= 1
+        # per-route request counters + latency histograms from the
+        # requests this test just made
+        assert sample("repro_serve_http_requests", route="stats") >= 1
+        assert sample("repro_serve_http_latency_ms_bucket",
+                      route="stats", le="+Inf") >= 1
+        assert sample("repro_serve_http_latency_ms_count",
+                      route="stats") >= 1
+        # the scheduler ran cells, so client attribution is live too
+        assert sample("repro_serve_client_cells",
+                      client="scrape-test") >= 1
+
+    def test_healthz_and_readyz_agree_on_a_healthy_service(self, live):
+        status, _, _ = _raw_get(live.base_url + "/healthz")
+        assert status == 200
+        status, _, body = _raw_get(live.base_url + "/readyz")
+        assert status == 200
+        assert '"ready": true' in body
+
+    def test_readyz_flips_to_503_when_the_supervisor_stops(
+            self, tmp_path):
+        service = SimService(state_dir=tmp_path / "state")
+        service.start()
+        server = make_server(service, port=0, quiet=True)
+        threading.Thread(target=server.serve_forever,
+                         daemon=True).start()
+        base = f"http://127.0.0.1:{server.server_address[1]}"
+        try:
+            status, _, _ = _raw_get(base + "/readyz")
+            assert status == 200
+            service.scheduler.stop()
+            status, _, body = _raw_get(base + "/readyz")
+            assert status == 503
+            assert '"scheduler": false' in body
+            # liveness is unaffected: the process still answers
+            assert _raw_get(base + "/healthz")[0] == 200
+        finally:
+            server.shutdown()
+            service.stop()
 
 
 class TestQuotaOverHTTP:
