@@ -1,0 +1,58 @@
+"""Stack-distance microbench: offline hit_mask vs stateful FastCache.
+
+Gates the whole-stream stack-distance pass (the fast model's cold-walk
+engine since the walk-cache PR) against driving the same stream
+through ``FastCache.lookup_lines`` on an LLC-sized geometry
+(Graviton3-class: 32768 sets x 16 ways) with long streams.  The mix
+mirrors marshaled-session traffic — sequential operand/output scans,
+strided traversals, irregular reuse, and a uniform scatter — where the
+offline model's monotonic early-exit and block distinct-count screens
+pay off.  Pure cache-thrash loops (every window exactly at capacity)
+are the one shape where the stateful model's adaptive scan still wins
+(~0.9x) and are deliberately not part of the gate; real kernel streams
+are never pure thrash.  Equivalence is pinned by
+``tests/test_stackdist_equiv.py``; here only the speed ratio is gated.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import CacheConfig
+from repro.sim import stackdist
+from repro.sim.fastcache import FastCache
+
+SETS, WAYS = 32768, 16
+N = 2_000_000
+
+
+def _streams() -> list[np.ndarray]:
+    rng = np.random.default_rng(29)
+    capacity = SETS * WAYS
+    return [
+        np.arange(N),                                   # sequential scan
+        np.arange(N) * 3 + 10_000_000,                  # strided scan
+        rng.integers(0, capacity // 2, N),              # reuse-heavy
+        rng.integers(0, 4 * capacity, N),               # uniform scatter
+    ]
+
+
+def test_stackdist_vs_fastcache_on_long_streams(best_of, micro_baselines):
+    cfg = CacheConfig(SETS * WAYS * 64, WAYS, 1, 4)
+    streams = _streams()
+
+    def run_fast() -> None:
+        for lines in streams:
+            FastCache(cfg).lookup_lines(lines)
+
+    def run_stackdist() -> None:
+        for lines in streams:
+            stackdist.hit_mask(lines, SETS, WAYS)
+
+    stateful = best_of(run_fast)
+    offline = best_of(run_stackdist)
+    ratio = stateful / offline
+    floor = micro_baselines["stackdist_lookup_min_ratio"]
+    assert ratio >= floor, (
+        f"stack-distance hit_mask speedup regressed: {ratio:.2f}x < "
+        f"{floor}x vs FastCache on long streams")

@@ -12,6 +12,8 @@ Usage::
     python -m repro trace record fig13 --out trace.json --sample 4
     python -m repro trace export trace.json      # Perfetto-loadable JSON
     python -m repro trace report trace.json      # stall attribution
+    python -m repro fig13 --profile 20    # cProfile bottleneck dump
+    python -m repro fig13 --walk-cache off    # skip the walk cache
     python -m repro cache-gc          # reclaim stale cache entries
     python -m repro serve --port 8321            # simulation job service
     python -m repro submit --workloads spmv,spkadd --wait
@@ -159,6 +161,24 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-cache",
         action="store_true",
         help="disable the on-disk result cache for this run",
+    )
+    parser.add_argument(
+        "--walk-cache",
+        default="auto",
+        metavar="DIR|off",
+        help="persistent hierarchy walk cache: 'auto' (default) keeps "
+             "it at <cache-dir>/walks, a path pins it elsewhere, 'off' "
+             "disables it; the REPRO_WALK_CACHE env var overrides",
+    )
+    parser.add_argument(
+        "--profile",
+        nargs="?",
+        type=int,
+        const=25,
+        default=None,
+        metavar="N",
+        help="wrap the run in cProfile and print the top N functions "
+             "by cumulative time to stderr (default N: 25)",
     )
     parser.add_argument(
         "--workloads",
@@ -987,6 +1007,7 @@ def main(argv: list[str] | None = None) -> int:
             retries=args.retries,
             progress=lambda msg: print(msg, file=sys.stderr),
             store=args.store,
+            walk_cache=args.walk_cache,
         )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -1003,6 +1024,12 @@ def main(argv: list[str] | None = None) -> int:
     # machine the drivers build; restored afterwards so embedded callers
     # (tests, notebooks) see the default again.
     set_default_fast(args.cache_model != "reference")
+    profiler = None
+    if args.profile is not None:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
     try:
         for name in names:
             rendered = _COMMANDS[name](args.scale, workloads)
@@ -1023,6 +1050,15 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     finally:
         set_default_fast(True)
+        if profiler is not None:
+            import io
+            import pstats
+
+            profiler.disable()
+            buf = io.StringIO()
+            stats = pstats.Stats(profiler, stream=buf)
+            stats.sort_stats("cumulative").print_stats(args.profile)
+            print(buf.getvalue(), file=sys.stderr)
 
     snap = trace = None
     if args.telemetry is not None:

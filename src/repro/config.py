@@ -132,11 +132,15 @@ class MachineConfig:
     memory: MemoryConfig = field(default_factory=MemoryConfig)
     noc: NocConfig = field(default_factory=NocConfig)
     tmu: TMUConfig = field(default_factory=TMUConfig)
-    #: cache-model selection: True runs the vectorized simulator
-    #: (:class:`repro.sim.fastcache.FastCache`), False the golden
-    #: reference (:class:`repro.sim.cache.Cache`).  The flag is part of
-    #: the machine's identity, so cached experiment results from the two
-    #: models never collide.
+    #: cache-model selection: True runs the vectorized simulators —
+    #: :class:`repro.sim.fastcache.FastCache` for stateful batch
+    #: lookups, and the stateless stack-distance pass
+    #: (:mod:`repro.sim.stackdist`) for the hierarchy walk's cold-start
+    #: whole-stream case — False the golden reference
+    #: (:class:`repro.sim.cache.Cache`).  All are bit-for-bit
+    #: hit/miss-equivalent; the flag is still part of the machine's
+    #: identity, so cached experiment results from the two model
+    #: families never collide.
     fast_cache: bool = True
     #: TMU-engine selection: True runs the structure-of-arrays lane
     #: engine (:mod:`repro.tmu.fastlane`), False the scalar golden

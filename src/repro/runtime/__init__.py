@@ -21,11 +21,12 @@ harness configure it, and tests may swap it via :func:`using`.
 
 from __future__ import annotations
 
+import os
 from contextlib import contextmanager
 from pathlib import Path
 from typing import Callable
 
-from .cache import CacheStats, NullCache, ResultCache
+from .cache import CacheStats, NullCache, ResultCache, WalkStore
 from .executor import ProgressEvent, RunReport, Runtime, TaskOutcome
 from .manifest import ManifestEntry, RunManifest
 from .task import (
@@ -47,6 +48,7 @@ __all__ = [
     "ResultCache",
     "NullCache",
     "CacheStats",
+    "WalkStore",
     "RunManifest",
     "ManifestEntry",
     "CODE_SALT",
@@ -68,11 +70,34 @@ DEFAULT_CACHE_DIR = ".repro-cache"
 _active: Runtime | None = None
 
 
+def _resolve_walk_dir(walk_cache: str | Path | None,
+                      cache_dir: str | Path | None) -> Path | None:
+    """The on-disk walk-cache directory, or ``None`` when disabled.
+
+    Precedence: the ``REPRO_WALK_CACHE`` environment variable (a
+    path, or ``0``/``off`` to disable) overrides the argument;
+    ``"auto"`` places the tier at ``<cache_dir>/walks`` and disables
+    it when the result cache itself is off.
+    """
+    env = os.environ.get("REPRO_WALK_CACHE")
+    if env is not None:
+        walk_cache = env
+    if walk_cache is None:
+        return None
+    text = str(walk_cache).strip()
+    if text.lower() in ("", "0", "off", "no", "none", "false"):
+        return None
+    if text == "auto":
+        return Path(cache_dir) / "walks" if cache_dir is not None else None
+    return Path(text)
+
+
 def configure(*, jobs: int = 1,
               cache_dir: str | Path | None = None,
               timeout: float | None = None, retries: int = 1,
               progress: Callable[[ProgressEvent], None] | None = None,
               store: str | Path | None = None,
+              walk_cache: str | Path | None = "auto",
               ) -> Runtime:
     """Install (and return) the process-wide runtime.
 
@@ -80,14 +105,27 @@ def configure(*, jobs: int = 1,
     benefit from the library's in-process memoization when running
     serially).  ``store`` names an experiment database
     (:mod:`repro.store`); every batch's manifest is auto-ingested
-    into it.
+    into it.  ``walk_cache`` controls the persistent walk-cache tier
+    (:class:`WalkStore`): ``"auto"`` (default) keeps it beside the
+    result cache at ``<cache_dir>/walks``, a path pins it there, and
+    ``None``/``"off"`` disables it; the ``REPRO_WALK_CACHE``
+    environment variable overrides all of these.
     """
     global _active
     cache = ResultCache(Path(cache_dir)) if cache_dir is not None \
         else NullCache()
+    walk_dir = _resolve_walk_dir(walk_cache, cache_dir)
+    # Install the disk tier process-wide: serial runs and the in-pool
+    # parent share it here; pool workers install their own copy from
+    # the walk_dir shipped with each task.
+    from ..sim.memsys import configure_walk_store
+
+    configure_walk_store(WalkStore(walk_dir) if walk_dir is not None
+                         else None)
     _active = Runtime(jobs=jobs, cache=cache, timeout=timeout,
                       retries=retries, progress=progress,
-                      store=None if store is None else str(store))
+                      store=None if store is None else str(store),
+                      walk_dir=None if walk_dir is None else str(walk_dir))
     return _active
 
 

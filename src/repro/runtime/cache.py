@@ -193,3 +193,68 @@ class ResultCache:
 
     def __len__(self) -> int:
         return sum(1 for _ in self.root.glob("*.json"))
+
+
+@dataclass
+class WalkStore:
+    """On-disk tier of the hierarchy walk cache (see
+    :class:`repro.sim.memsys.WalkCache`).
+
+    Same layout and concurrency story as :class:`ResultCache` —
+    ``<sha256>.json`` records, atomic per-pid/tid temp renames,
+    identical bytes for identical digests — but keyed by the *walk*
+    content address (cache geometry + raw stream bytes) rather than a
+    task spec, and schema-gated by the payload's own
+    ``repro.walk/...`` tag instead of :data:`CODE_SALT`: a walk record
+    is a pure function of its digest inputs, so it survives unrelated
+    model-code changes that would invalidate task results.
+    """
+
+    root: Path
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, digest: str) -> Path:
+        return self.root / f"{digest}.json"
+
+    def load(self, digest: str) -> tuple[dict | None, int]:
+        """``(payload, size_in_bytes)`` for a stored walk, or
+        ``(None, 0)`` on miss; corrupt records are dropped."""
+        path = self.path_for(digest)
+        try:
+            raw = path.read_bytes()
+            return json.loads(raw), len(raw)
+        except FileNotFoundError:
+            return None, 0
+        except (OSError, json.JSONDecodeError):
+            path.unlink(missing_ok=True)
+            return None, 0
+
+    def save(self, digest: str, payload: dict) -> int:
+        """Atomically persist one walk record; returns bytes written."""
+        path = self.path_for(digest)
+        tmp = path.with_suffix(
+            f".tmp.{os.getpid()}.{threading.get_ident()}")
+        data = json.dumps(payload, sort_keys=True)
+        tmp.write_text(data, encoding="utf-8")
+        os.replace(tmp, path)
+        return len(data)
+
+    def gc(self) -> int:
+        """Drop stale temp files and unparsable records."""
+        removed = 0
+        for tmp in self.root.glob("*.tmp.*"):
+            tmp.unlink(missing_ok=True)
+            removed += 1
+        for path in self.root.glob("*.json"):
+            try:
+                json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, json.JSONDecodeError):
+                path.unlink(missing_ok=True)
+                removed += 1
+        return removed
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.json"))

@@ -47,9 +47,26 @@ from .task import SimTask, run_from_record
 _log = get_logger("runtime.executor")
 
 
+def _install_walk_store(walk_dir: "str | None") -> None:
+    """Attach the on-disk walk-cache tier at ``walk_dir`` (idempotent;
+    ``None`` leaves whatever is installed alone).  Pool workers call
+    this on every task: the first call in a fresh worker installs the
+    tier, later calls are two attribute reads."""
+    if walk_dir is None:
+        return
+    from ..sim.memsys import configure_walk_store, walk_cache
+
+    store = walk_cache().store
+    if store is None or str(getattr(store, "root", "")) != walk_dir:
+        from .cache import WalkStore
+
+        configure_walk_store(WalkStore(walk_dir))
+
+
 def _evaluate_task(task: SimTask, capture_telemetry: bool = False,
                    capture_trace: bool = False,
-                   log_context: dict | None = None) -> dict:
+                   log_context: dict | None = None,
+                   walk_dir: "str | None" = None) -> dict:
     """Module-level worker entry point (must be picklable).
 
     ``capture_telemetry`` / ``capture_trace`` are set on process-pool
@@ -66,7 +83,13 @@ def _evaluate_task(task: SimTask, capture_telemetry: bool = False,
     the worker rebinds it (plus its own pid and the cell's hash) so
     its structured log records carry the same ``run_key``/``job_id``
     as the parent's.
+
+    ``walk_dir`` ships the on-disk walk-cache location into pool
+    workers (the parent installs its own tier via
+    ``runtime.configure``): hierarchy walks memoized by any worker,
+    the parent, a server job or a previous session are then shared.
     """
+    _install_walk_store(walk_dir)
     with ExitStack() as stack:
         if log_context is not None:
             stack.enter_context(correlation(
@@ -178,6 +201,7 @@ class Runtime:
                  backoff: float = 0.25,
                  progress: Callable[[ProgressEvent], None] | None = None,
                  store: "str | None" = None,
+                 walk_dir: "str | None" = None,
                  ) -> None:
         if jobs < 1:
             raise ExecutorError(f"jobs must be >= 1, got {jobs}")
@@ -190,6 +214,9 @@ class Runtime:
         self.backoff = backoff
         self.progress = progress
         self.store_path = store
+        #: on-disk walk-cache directory shipped to pool workers (the
+        #: parent's own tier is installed by ``runtime.configure``).
+        self.walk_dir = walk_dir
         self.last_manifest: RunManifest | None = None
         self.manifests: list[RunManifest] = []
         #: correlation id tying every log record of this runtime's
@@ -278,7 +305,7 @@ class Runtime:
                 futures = [(i, pool.submit(_evaluate_task, t.resolved(),
                                            obs.enabled(),
                                            obs.tracing_enabled(),
-                                           shipped))
+                                           shipped, self.walk_dir))
                            for i, t in enumerate(tasks)]
             except BrokenProcessPool:
                 self._emit("pool", "process pool broke on submit; "

@@ -7,6 +7,15 @@ plain-JSON result record.  The record round-trips losslessly back into
 the :class:`~repro.eval.workloads.WorkloadRun` the experiment drivers
 consume, which is what makes on-disk caching and cross-process
 execution transparent to every figure/table driver.
+
+Two persistent caches layer under a task, keyed independently: the
+*result* cache stores a cell's full record under its content hash
+(salted with :data:`CODE_SALT`, so any model-code change invalidates
+it), while the *walk* cache (:class:`repro.runtime.cache.WalkStore`)
+stores raw hierarchy-walk outcomes keyed purely by cache geometry and
+stream bytes — a walk is a pure function of those inputs, so it
+survives code changes that only touch the timing model, and a cell
+that misses the result cache can still reuse its walks.
 """
 
 from __future__ import annotations

@@ -71,6 +71,19 @@ class _CacheTelemetry:
         return self
 
 
+def settle_lookup(cache, accesses: int, hit_count: int) -> None:
+    """Fold an externally computed lookup outcome into a cache object's
+    stats and published telemetry — exactly the bookkeeping
+    ``lookup_lines`` performs, for callers (the stack-distance walk in
+    :mod:`repro.sim.memsys`) that classify a stream without driving the
+    cache's own state machine."""
+    cache.stats.accesses += accesses
+    cache.stats.hits += hit_count
+    if cache.name:
+        _publish(cache._tele.refresh(cache.name), cache.name,
+                 accesses, hit_count)
+
+
 def _publish(tele: _CacheTelemetry, name: str, n: int, hit_count: int) -> None:
     """Publish one lookup_lines call's counters/trace events."""
     if tele.accesses is not None:
@@ -135,11 +148,7 @@ class Cache:
                 s.append(line)
                 hits[k] = True
                 hit_count += 1
-        self.stats.accesses += lines.size
-        self.stats.hits += hit_count
-        if self.name:
-            _publish(self._tele.refresh(self.name), self.name,
-                     int(lines.size), hit_count)
+        settle_lookup(self, int(lines.size), hit_count)
         return hits
 
     def contains_line(self, line: int) -> bool:

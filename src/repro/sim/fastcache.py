@@ -54,7 +54,7 @@ import numpy as np
 
 from ..config import CacheConfig
 from ..errors import SimulationError
-from .cache import CacheStats, _CacheTelemetry, _publish
+from .cache import CacheStats, _CacheTelemetry, settle_lookup
 
 #: Internal batch size; the prologue mechanism makes chunk boundaries
 #: exact, so this only bounds peak memory of the intermediate arrays.
@@ -113,11 +113,7 @@ class FastCache:
             parts = [self._process(chunk)
                      for chunk in np.array_split(lines, -(-n // _CHUNK))]
             hits = np.concatenate(parts)
-        hit_count = int(hits.sum())
-        self.stats.accesses += n
-        self.stats.hits += hit_count
-        if self.name:
-            _publish(self._tele.refresh(self.name), self.name, n, hit_count)
+        settle_lookup(self, n, int(hits.sum()))
         return hits
 
     def contains_line(self, line: int) -> bool:

@@ -20,14 +20,18 @@ Modeling notes (vs. gem5):
 
 from __future__ import annotations
 
+import hashlib
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field, replace
 
 import numpy as np
 
 from .. import obs
 from ..config import CacheConfig, MachineConfig
+from . import stackdist
 from .cache import Cache, _CacheTelemetry, _publish, dedup_consecutive, \
-    to_lines
+    settle_lookup, to_lines
 from .fastcache import FastCache
 from .trace import AccessStream, KernelTrace
 
@@ -109,17 +113,10 @@ class AccessProfile:
         return total_lat / total_cnt if total_cnt else 0.0
 
 
-#: Memoized hierarchy walks.  Architecture sweeps re-profile identical
-#: (geometry, stream content) pairs — e.g. core-side variants that
-#: leave the cache hierarchy untouched — and the walk is a pure
-#: function of both.  Keys are cheap fingerprints; every hit is
-#: *verified* against the stored address arrays with ``array_equal``
-#: before replay, so a fingerprint collision can never change results.
-#: Replay reproduces the walk's observable side effects (per-level
-#: counters and stats) exactly, keeping telemetry identical to an
-#: unmemoized run.
-_WALK_MEMO: dict[tuple, list] = {}
-_WALK_MEMO_CAP = 512
+#: Schema tag of serialized walk records.  Bump whenever the walk's
+#: observable outcome for a given (geometry, stream content) pair can
+#: change — a stale on-disk record must miss, never poison a result.
+WALK_SCHEMA = "repro.walk/1"
 
 
 def _stream_fingerprint(s: AccessStream) -> tuple:
@@ -130,22 +127,233 @@ def _stream_fingerprint(s: AccessStream) -> tuple:
             int(a[:: max(1, n >> 4)].sum()) if n else 0)
 
 
-def _memo_lookup(key: tuple, streams: list[AccessStream]):
-    """Return the memoized walk for ``key`` whose stored streams are
-    content-equal to ``streams``, or None."""
-    for stored, value in _WALK_MEMO.get(key, ()):
-        if len(stored) == len(streams) and all(
-                a is s.addresses or np.array_equal(a, s.addresses)
-                for a, s in zip(stored, streams)):
-            return value
-    return None
+def _streams_equal(stored: list[np.ndarray],
+                   streams: list[AccessStream]) -> bool:
+    return len(stored) == len(streams) and all(
+        a is s.addresses or np.array_equal(a, s.addresses)
+        for a, s in zip(stored, streams))
 
 
-def _memo_store(key: tuple, streams: list[AccessStream], value) -> None:
-    if len(_WALK_MEMO) >= _WALK_MEMO_CAP:
-        _WALK_MEMO.clear()
-    _WALK_MEMO.setdefault(key, []).append(
-        ([s.addresses for s in streams], value))
+#: Per-array content digests, LRU over array identity.  The same
+#: address arrays are digested for the hierarchy walk, the LLC-only
+#: walk, and again on the post-miss ``put`` — hashing each one once
+#: turns the sha256 over multi-million-entry streams from the dominant
+#: disk-tier cost into a per-session constant.  Entries hold a strong
+#: reference to the array, so a memoized id can never be recycled by a
+#: new object while its entry lives (and the arrays are the very ones
+#: the memory tier pins anyway).  Trace arrays are immutable once
+#: built (the memory tier's identity short-circuit already relies on
+#: this), so identity implies unchanged content.
+_ARRAY_DIGESTS: OrderedDict = OrderedDict()
+_ARRAY_DIGESTS_CAP = 1024
+
+
+def _array_digest(a: np.ndarray) -> str:
+    token = id(a)
+    hit = _ARRAY_DIGESTS.get(token)
+    if hit is not None:
+        _ARRAY_DIGESTS.move_to_end(token)
+        return hit[1]
+    c = a if a.flags.c_contiguous else np.ascontiguousarray(a)
+    h = hashlib.sha256()
+    h.update(str(c.dtype).encode())
+    h.update(c.data)
+    d = h.hexdigest()
+    while len(_ARRAY_DIGESTS) >= _ARRAY_DIGESTS_CAP:
+        _ARRAY_DIGESTS.popitem(last=False)
+    _ARRAY_DIGESTS[token] = (a, d)
+    return d
+
+
+def _walk_digest(key: tuple, streams: list[AccessStream]) -> str:
+    """Content address of one walk: sha256 over the cache geometry /
+    sampling key and the full stream contents (dtype + raw bytes,
+    folded in as per-array content digests)."""
+    h = hashlib.sha256()
+    h.update(repr((WALK_SCHEMA, key)).encode())
+    for s in streams:
+        h.update(_array_digest(s.addresses).encode())
+    return h.hexdigest()
+
+
+def _encode_walk(value) -> dict:
+    """Walk value -> JSON-able payload for the disk tier."""
+    profiles, levels = value
+    return {"schema": WALK_SCHEMA,
+            "profiles": [dict(vars(sp)) for sp in profiles],
+            "levels": [[int(a), int(hits)] for a, hits in levels]}
+
+
+def _decode_walk(payload: dict):
+    """Disk payload -> walk value, or None when unusable."""
+    if not isinstance(payload, dict) or payload.get(
+            "schema") != WALK_SCHEMA:
+        return None
+    try:
+        profiles = [StreamProfile(**p) for p in payload["profiles"]]
+        levels = [(int(a), int(hits)) for a, hits in payload["levels"]]
+    except (KeyError, TypeError, ValueError):
+        return None
+    return profiles, levels
+
+
+class WalkCache:
+    """Two-tier memo of hierarchy walks.
+
+    Architecture sweeps re-profile identical (geometry, stream content)
+    pairs — core-side variants leave the cache hierarchy untouched —
+    and the walk is a pure function of both, so its result can be
+    reused freely:
+
+    * **memory tier**: an in-process LRU over cheap fingerprint keys;
+      every hit is *verified* against the stored address arrays with
+      ``array_equal``, so a fingerprint collision can never change
+      results.  At capacity the least-recently-used entry is evicted
+      (an eviction only costs a recompute, never correctness).
+    * **disk tier** (optional, installed by the runtime beside the
+      result cache): records keyed by a sha256 over the geometry key
+      and the full stream bytes, shared across ProcessPool workers,
+      server jobs and sessions.  A disk hit is promoted into the
+      memory tier.
+
+    Replaying a cached walk reproduces the walk's observable side
+    effects (per-level counters and stats) exactly, keeping telemetry
+    identical to an unmemoized run.  Lookup/store traffic is published
+    under ``sim.memsys.walk_cache.*`` when telemetry is enabled.
+    """
+
+    def __init__(self, capacity: int = 512) -> None:
+        self.capacity = capacity
+        self._entries: OrderedDict[tuple, list] = OrderedDict()
+        self._lock = threading.Lock()
+        self.store = None  # disk tier (duck-typed: load/save)
+        self.hits = 0
+        self.disk_hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------ telemetry
+
+    def _tele(self, counter: str, n: int = 1) -> None:
+        if obs.enabled():
+            view = obs.active().prefixed("sim.memsys.walk_cache")
+            view.counter(counter).add(n)
+            lookups = self.hits + self.disk_hits + self.misses
+            if lookups and counter in ("mem_hits", "disk_hits", "misses"):
+                view.gauge("hit_rate").set(
+                    (self.hits + self.disk_hits) / lookups)
+
+    # ------------------------------------------------------------- lookups
+
+    def lookup(self, key: tuple, streams: list[AccessStream]):
+        """The cached walk for ``key``/``streams``, or None.  Checks
+        the memory tier (verified), then the disk tier (content-
+        addressed, so trusted by construction)."""
+        with self._lock:
+            entries = self._entries.get(key)
+            if entries is not None:
+                self._entries.move_to_end(key)
+                entries = list(entries)
+        if entries is not None:
+            for stored, value in entries:
+                if _streams_equal(stored, streams):
+                    self.hits += 1
+                    self._tele("mem_hits")
+                    return value
+        if self.store is not None:
+            payload, nbytes = self.store.load(_walk_digest(key, streams))
+            if payload is not None:
+                value = _decode_walk(payload)
+                if value is not None:
+                    self.disk_hits += 1
+                    self._tele("disk_hits")
+                    self._tele("disk_bytes_read", nbytes)
+                    self._install(key, streams, value)
+                    return value
+        self.misses += 1
+        self._tele("misses")
+        return None
+
+    def put(self, key: tuple, streams: list[AccessStream], value) -> None:
+        self._install(key, streams, value)
+        self._tele("stores")
+        if self.store is not None:
+            nbytes = self.store.save(_walk_digest(key, streams),
+                                     _encode_walk(value))
+            self._tele("disk_bytes_written", nbytes)
+
+    def _install(self, key: tuple, streams: list[AccessStream],
+                 value) -> None:
+        arrays = [s.addresses for s in streams]
+        with self._lock:
+            evicted = 0
+            while len(self._entries) >= self.capacity and self._entries:
+                self._entries.popitem(last=False)
+                evicted += 1
+            self._entries.setdefault(key, []).append((arrays, value))
+            self._entries.move_to_end(key)
+        if evicted:
+            self.evictions += evicted
+            self._tele("evictions", evicted)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+_WALK_CACHE = WalkCache()
+
+
+def walk_cache() -> WalkCache:
+    """The process-wide walk cache (memory tier always on)."""
+    return _WALK_CACHE
+
+
+def configure_walk_store(store) -> None:
+    """Install (or remove, with ``None``) the on-disk walk tier.  The
+    runtime wires this to a ``walks/`` directory beside the result
+    cache — in the driver process and in every ProcessPool worker."""
+    _WALK_CACHE.store = store
+
+
+def prepare_lines(stream: AccessStream, line_bytes: int,
+                  sample_window: int | None
+                  ) -> tuple[np.ndarray, int, float]:
+    """One stream's line sequence after dedup and window sampling,
+    plus the pre-sampling size and the extrapolation factor — the
+    shared prep step of the hierarchy walk and the LLC-only walk."""
+    lines = dedup_consecutive(to_lines(stream.addresses, line_bytes))
+    total = lines.size
+    scale = 1.0
+    if sample_window and total > sample_window:
+        lines = lines[:sample_window]
+        scale = total / lines.size
+    return lines, total, scale
+
+
+def _walk_level(cache, lines: np.ndarray) -> np.ndarray:
+    """Classify one level's line stream in a single-shot batched walk.
+
+    The fast model routes through the stateless stack-distance pass
+    (:mod:`repro.sim.stackdist`): the walk starts from a reset cache
+    and sees the level's whole stream in one call, which is exactly
+    the cold-start whole-stream case the offline model computes — so
+    the mask, stats and published telemetry are bit-identical to
+    driving ``FastCache.lookup_lines`` (the fuzz harness in
+    ``tests/test_stackdist_equiv.py`` holds all three models to the
+    same answers).  The reference model keeps its stateful walk.
+    """
+    if lines.size == 0:
+        return np.zeros(0, dtype=bool)
+    if isinstance(cache, FastCache):
+        hits = stackdist.hit_mask(lines, cache.num_sets, cache.ways)
+        settle_lookup(cache, lines.size, int(hits.sum()))
+        return hits
+    return cache.lookup_lines(lines)
 
 
 def sequentiality(lines: np.ndarray) -> float:
@@ -190,16 +398,8 @@ class MemoryHierarchy:
 
     def _prepared_lines(self, stream: AccessStream
                         ) -> tuple[np.ndarray, int, float]:
-        """One stream's line sequence after dedup and window sampling,
-        plus the pre-sampling size and the extrapolation factor."""
-        lines = to_lines(stream.addresses, self.machine.l1d.line_bytes)
-        lines = dedup_consecutive(lines)
-        total = lines.size
-        scale = 1.0
-        if self.sample_window and total > self.sample_window:
-            lines = lines[: self.sample_window]
-            scale = total / lines.size
-        return lines, total, scale
+        return prepare_lines(stream, self.machine.l1d.line_bytes,
+                             self.sample_window)
 
     def _coverage(self, stream: AccessStream, lines: np.ndarray) -> float:
         if self.model_prefetchers and not stream.dependent:
@@ -260,13 +460,13 @@ class MemoryHierarchy:
                                 })
             else:
                 key = self._memo_key(trace.streams)
-                value = _memo_lookup(key, trace.streams)
+                value = _WALK_CACHE.lookup(key, trace.streams)
                 if value is None:
                     sps = self._profile_batched(trace.streams)
                     levels = [(c.stats.accesses, c.stats.hits)
                               for c in (self.l1, self.l2, self.llc)]
-                    _memo_store(key, trace.streams,
-                                ([replace(sp) for sp in sps], levels))
+                    _WALK_CACHE.put(key, trace.streams,
+                                    ([replace(sp) for sp in sps], levels))
                 else:
                     stored, levels = value
                     sps = [replace(sp) for sp in stored]
@@ -310,14 +510,11 @@ class MemoryHierarchy:
         all_lines = (np.concatenate([p[0] for p in prepared])
                      if seg.size else np.zeros(0, dtype=np.int64))
 
-        l1_hit = self.l1.lookup_lines(all_lines) if all_lines.size else (
-            np.zeros(0, dtype=bool))
+        l1_hit = _walk_level(self.l1, all_lines)
         l2_lines, l2_seg = all_lines[~l1_hit], seg[~l1_hit]
-        l2_hit = self.l2.lookup_lines(l2_lines) if l2_lines.size else (
-            np.zeros(0, dtype=bool))
+        l2_hit = _walk_level(self.l2, l2_lines)
         llc_lines, llc_seg = l2_lines[~l2_hit], l2_seg[~l2_hit]
-        llc_hit = self.llc.lookup_lines(llc_lines) if llc_lines.size else (
-            np.zeros(0, dtype=bool))
+        llc_hit = _walk_level(self.llc, llc_lines)
 
         l1_hits = np.bincount(seg[l1_hit], minlength=num)
         l2_hits = np.bincount(l2_seg[l2_hit], minlength=num)
@@ -360,9 +557,9 @@ def llc_only_profile(machine: MachineConfig, streams: list[AccessStream],
                                  c.latency, c.mshrs), machine.fast_cache,
                     sample_window,
                     tuple(_stream_fingerprint(s) for s in streams))
-        value = _memo_lookup(memo_key, streams)
+        value = _WALK_CACHE.lookup(memo_key, streams)
         if value is not None:
-            stored, (acc, hit_count) = value
+            stored, ((acc, hit_count),) = value
             out = AccessProfile(line_bytes=c.line_bytes)
             out.streams.extend(replace(sp) for sp in stored)
             if acc:
@@ -371,25 +568,16 @@ def llc_only_profile(machine: MachineConfig, streams: list[AccessStream],
             return out
     llc = make_cache(machine.llc, name="tmu_llc", fast=machine.fast_cache)
     profile = AccessProfile(line_bytes=machine.llc.line_bytes)
-    prepared = []
-    for stream in streams:
-        lines = to_lines(stream.addresses, machine.llc.line_bytes)
-        lines = dedup_consecutive(lines)
-        total = lines.size
-        scale = 1.0
-        if sample_window and total > sample_window:
-            lines = lines[:sample_window]
-            scale = total / lines.size
-        prepared.append((lines, total, scale))
-    # One lookup over the concatenation (exact: single level, order
+    prepared = [prepare_lines(s, machine.llc.line_bytes, sample_window)
+                for s in streams]
+    # One walk over the concatenation (exact: single level, order
     # preserved), attributed back per stream by segment id.
     num = len(prepared)
     seg = np.repeat(np.arange(num, dtype=np.int64),
                     [p[0].size for p in prepared])
     all_lines = (np.concatenate([p[0] for p in prepared])
                  if seg.size else np.zeros(0, dtype=np.int64))
-    hit = llc.lookup_lines(all_lines) if all_lines.size else np.zeros(
-        0, dtype=bool)
+    hit = _walk_level(llc, all_lines)
     hits = np.bincount(seg[hit], minlength=num)
     misses = np.bincount(seg[~hit], minlength=num)
     for i, (stream, (lines, total, scale)) in enumerate(
@@ -408,7 +596,7 @@ def llc_only_profile(machine: MachineConfig, streams: list[AccessStream],
             prefetch_coverage=0.0,
         ))
     if memo_key is not None:
-        _memo_store(memo_key, streams,
-                    ([replace(sp) for sp in profile.streams],
-                     (llc.stats.accesses, llc.stats.hits)))
+        _WALK_CACHE.put(memo_key, streams,
+                        ([replace(sp) for sp in profile.streams],
+                         [(llc.stats.accesses, llc.stats.hits)]))
     return profile

@@ -1,0 +1,203 @@
+"""Exact offline stack-distance model for set-associative LRU caches.
+
+:func:`hit_mask` classifies a *whole* line stream against a cold
+cache in one stateless NumPy pass — no tag matrix, no occupancy
+vector, no batch chunking.  It exploits the classic stack-distance
+theorem: under install-on-miss LRU, an access hits iff its line was
+seen before and the number of *distinct* lines of the same set touched
+since the previous occurrence is ``< ways``.  Because the whole stream
+is visible at once, the model needs none of
+:class:`~repro.sim.fastcache.FastCache`'s batch machinery (prologue
+replay, per-chunk packed sorts, tag-matrix rebuild) — which is exactly
+the overhead that made the hierarchy walk the bottleneck of large
+sweeps.
+
+The pass:
+
+1. takes an all-cold-miss early exit for strictly monotonic streams
+   (sequential scans, marshaled operand/output streams touch every
+   line exactly once);
+2. groups accesses by set with one stable packed sort (int32 when the
+   pack fits 31 bits) and computes previous/next-occurrence links
+   (``f``/``nxt``) with a second;
+3. screens: ``f < 0`` is a cold-start miss; a positional reuse
+   distance ``k - f[k] <= ways`` is a definite hit;
+4. retires the survivors through a *block distinct-count table*: the
+   packed stream is cut into fixed ``B``-sized blocks and each block's
+   exact distinct-line count is one vectorized reduction
+   (``f[j] < block_start`` marks j's line as new within the block).
+   Any window that fully contains a block with ``>= ways`` distinct
+   lines is a certain miss, and the summed block counts plus the raw
+   boundary widths upper-bound the window's distinct count for a
+   certain hit — both O(1) per query off two block-level prefix sums;
+5. resolves the remainder (narrow windows shorter than two blocks,
+   and rare duplicate-heavy wide windows whose bounds stay ambiguous)
+   with the same lockstep bounded scan FastCache uses, straggler
+   fallback included, in bounded-size chunks.
+
+Every path is exact, so the mask is bit-identical to both
+:class:`~repro.sim.cache.Cache` and ``FastCache`` from a cold start —
+``tests/test_stackdist_equiv.py`` fuzzes all three against each other.
+The hierarchy walk in :mod:`repro.sim.memsys` resets every level
+before profiling, so its batched walks are cold-start by construction
+and route here whenever ``MachineConfig.fast_cache`` is on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import SimulationError
+from .fastcache import FastCache
+
+#: Queries per lockstep-scan batch.  The scan materializes
+#: ``queries x block`` work matrices; bounding the batch keeps them
+#: cache-resident instead of page-fault-bound on multi-million-access
+#: streams.  Each batch is an independent pure function of the shared
+#: ``f``/``nxt`` links, so chunking cannot change any verdict.
+_SCAN_CHUNK = 1 << 16
+
+
+def _scan(f, nxt, q, ways):
+    if q.size <= _SCAN_CHUNK:
+        return FastCache._resolve(f, nxt, q, ways)
+    out = np.empty(q.size, dtype=bool)
+    for lo in range(0, q.size, _SCAN_CHUNK):
+        part = q[lo:lo + _SCAN_CHUNK]
+        out[lo:lo + part.size] = FastCache._resolve(f, nxt, part, ways)
+    return out
+
+
+def hit_mask(lines: np.ndarray, num_sets: int, ways: int) -> np.ndarray:
+    """Boolean hit mask of ``lines`` against a cold ``num_sets`` ×
+    ``ways`` LRU cache — bit-identical to replaying the stream through
+    the stateful models."""
+    if num_sets & (num_sets - 1):
+        raise SimulationError("cache set count must be a power of two")
+    lines = np.asarray(lines, dtype=np.int64)
+    n = lines.size
+    if n == 0:
+        return np.zeros(0, dtype=bool)
+    if n > 1:
+        # Strictly monotonic streams (sequential scans, marshaled
+        # operand/output streams) touch every line exactly once: from a
+        # cold cache every access misses.  Only a *stateless* model can
+        # take this exit — with carried state an earlier batch could
+        # have installed any of these lines.  The short prefix probe
+        # skips the full-stream diff on clearly irregular inputs.
+        head = lines[:4097]
+        dh = np.diff(head)
+        if (dh > 0).all() or (dh < 0).all():
+            d = np.diff(lines)
+            if (d > 0).all() or (d < 0).all():
+                return np.zeros(n, dtype=bool)
+    set_mask = num_sets - 1
+    sets = lines & set_mask
+
+    # Group by set, program order within each set segment.  Packing
+    # (key << pos_bits) | position keeps a plain np.sort stable, and
+    # the int32 pack is measurably faster on the hot small-set walks.
+    pos_bits = max(1, (n - 1).bit_length())
+    pos_mask = (1 << pos_bits) - 1
+    pos32 = np.arange(n, dtype=np.int32)
+    if int(set_mask).bit_length() + pos_bits <= 31:
+        order = np.sort((sets.astype(np.int32) << pos_bits)
+                        | pos32) & pos_mask
+    else:
+        order = np.sort((sets << pos_bits)
+                        | pos32.astype(np.int64)) & pos_mask
+    pv = lines[order]
+
+    # Previous/next occurrence of the same line (same line ⇒ same set,
+    # so the links never leave a set segment).
+    vmax = int(pv.max())
+    if vmax.bit_length() + pos_bits <= 31:
+        o2 = np.sort((pv.astype(np.int32) << pos_bits)
+                     | pos32) & pos_mask
+    elif vmax < (1 << (62 - pos_bits)):
+        o2 = np.sort((pv << pos_bits)
+                     | pos32.astype(np.int64)) & pos_mask
+    else:  # astronomically large line numbers: plain stable argsort
+        o2 = np.argsort(pv, kind="stable")
+    sv = pv[o2]
+    same = sv[1:] == sv[:-1]
+    prev_idx = o2[:-1][same]
+    next_idx = o2[1:][same]
+    f = np.full(n, -1, dtype=np.int32)
+    f[next_idx] = prev_idx
+
+    # Screens: cold-start miss / positional-reuse hit.  A window of
+    # ``gap - 1 <= ways - 1`` packed positions cannot reach ``ways``
+    # distinct lines, whatever it contains.
+    gap = pos32 - f
+    seen = f >= 0
+    hit_packed = seen & (gap <= ways)
+    q = np.flatnonzero(seen & (gap > ways)).astype(np.int32)
+
+    if q.size:
+        q = _block_screen(f, pos32, hit_packed, q, ways, n)
+    if q.size:
+        nxt = np.full(n, n, dtype=np.int32)
+        nxt[prev_idx] = next_idx
+        hit_packed[q] = _scan(f, nxt, q, ways)
+
+    hits = np.empty(n, dtype=bool)
+    hits[order] = hit_packed
+    return hits
+
+
+def _block_screen(f, pos32, hit_packed, q, ways, n):
+    """Retire queries through the block distinct-count table; returns
+    the remainder for the lockstep scan.
+
+    The packed stream is cut into blocks of ``B = 2^lb`` positions
+    (the smallest power of two holding ``2 * ways`` accesses, so a
+    single block *can* certify a miss).  ``bd[b]`` is block ``b``'s
+    exact distinct-line count: position ``j`` introduces a new line to
+    its block iff its previous occurrence lies before the block
+    (``f[j] < block_start``; cold starts with ``f = -1`` included).
+    Blocks never mix information across sets in a way a query can
+    observe: a window ``(p, k)`` never crosses its set segment, so any
+    block it fully contains lies inside that segment too.
+
+    For a query window ``(p, k)``, the blocks ``bp1 .. bk-1`` are
+    exactly the fully-contained ones, giving two O(1) verdicts off
+    prefix sums over blocks:
+
+    * ``miss``  — some contained block alone holds ``>= ways``
+      distinct lines (window distinct count can only be larger);
+    * ``hit``   — the *sum* of contained block counts plus the raw
+      widths of the two boundary fragments stays ``< ways`` (the sum
+      double-counts lines recurring across blocks and the fragments
+      are counted undeduplicated, so it upper-bounds the window's
+      distinct count).
+
+    The survivors are narrow windows (no fully-contained block) and
+    duplicate-heavy wide windows sitting between the two bounds; both
+    retire in the bounded lockstep scan, whose cost is proportional to
+    exactly the ambiguity the table could not remove.
+    """
+    lb = max(3, (2 * ways - 1).bit_length())
+    nfull = n >> lb
+    if nfull < 2:
+        return q
+    B = 1 << lb
+    first_in_blk = f < (pos32 & np.int32(~(B - 1)))
+    bd = first_in_blk[:nfull << lb].reshape(nfull, B).sum(
+        axis=1, dtype=np.int32)
+    cbad = np.zeros(nfull + 1, dtype=np.int32)
+    np.cumsum(bd >= ways, out=cbad[1:])
+    cgood = np.zeros(nfull + 1, dtype=np.int32)
+    np.cumsum(bd, out=cgood[1:])
+
+    p = f[q]
+    bp1 = np.minimum((p >> lb) + 1, nfull)  # first candidate block
+    bk = np.minimum(q >> lb, nfull)         # first block past the last
+    contained = bk > bp1
+    miss = contained & (cbad[bk] - cbad[bp1] > 0)
+    interior = np.where(contained, cgood[bk] - cgood[bp1], 0)
+    left = np.where(contained, (bp1 << lb) - 1 - p, q - 1 - p)
+    right = np.maximum(np.where(contained, q - (bk << lb), 0), 0)
+    hit = ~miss & (interior + left + right < ways)
+    hit_packed[q[hit]] = True
+    return q[~miss & ~hit]

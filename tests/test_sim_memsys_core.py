@@ -108,6 +108,65 @@ class TestHierarchy:
         assert sequentiality(np.arange(100) * 50) == 0.0
         assert sequentiality(np.array([1])) == 0.0
 
+    def test_sequentiality_edge_cases(self):
+        # empty and single-access streams have no deltas to measure
+        assert sequentiality(np.zeros(0, dtype=np.int64)) == 0.0
+        assert sequentiality(np.array([42])) == 0.0
+        # backwards and small-stride streams still count as sequential
+        assert sequentiality(np.arange(100)[::-1]) == 1.0
+        assert sequentiality(np.arange(0, 200, 2)) == 1.0
+        # exactly at the +-2 line threshold vs just beyond it
+        assert sequentiality(np.array([0, 2, 4])) == 1.0
+        assert sequentiality(np.array([0, 3, 6])) == 0.0
+
+    def test_average_load_latency_empty_profile(self, small_machine):
+        from repro.sim.memsys import AccessProfile, StreamProfile
+
+        # no streams at all -> no loads -> zero, not a division error
+        assert AccessProfile().average_load_latency(small_machine) == 0.0
+        # write-only and zero-access streams are excluded the same way
+        profile = AccessProfile(streams=[
+            StreamProfile(label="w", kind="write", dependent=False,
+                          accesses=100, mem_accesses=100),
+            StreamProfile(label="r0", kind="read", dependent=False,
+                          accesses=0),
+        ])
+        assert profile.average_load_latency(small_machine) == 0.0
+
+    def test_average_load_latency_single_access(self, small_machine):
+        from repro.sim.memsys import AccessProfile, StreamProfile
+
+        # one L1-hitting load: the mean is exactly the L1 latency
+        profile = AccessProfile(streams=[
+            StreamProfile(label="r", kind="read", dependent=False,
+                          accesses=1, l1_hits=1)])
+        assert profile.average_load_latency(small_machine) == (
+            pytest.approx(small_machine.l1d.latency))
+        # one cold miss: the mean is the full memory latency
+        profile = AccessProfile(streams=[
+            StreamProfile(label="r", kind="read", dependent=False,
+                          accesses=1, mem_accesses=1)])
+        assert profile.average_load_latency(small_machine) == (
+            pytest.approx(small_machine.memory_latency_cycles()))
+
+    def test_average_load_latency_full_prefetch_coverage(
+            self, small_machine):
+        from repro.sim.memsys import AccessProfile, StreamProfile
+
+        # coverage 1.0 serves every off-chip miss at ~L2 latency
+        profile = AccessProfile(streams=[
+            StreamProfile(label="r", kind="read", dependent=False,
+                          accesses=10, mem_accesses=10,
+                          prefetch_coverage=1.0)])
+        assert profile.average_load_latency(small_machine) == (
+            pytest.approx(small_machine.l2.latency))
+        # and it beats the uncovered version of the same stream
+        uncovered = AccessProfile(streams=[
+            StreamProfile(label="r", kind="read", dependent=False,
+                          accesses=10, mem_accesses=10)])
+        assert (profile.average_load_latency(small_machine)
+                < uncovered.average_load_latency(small_machine))
+
 
 class TestIntervalCore:
     def _run(self, machine, trace):

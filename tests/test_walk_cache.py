@@ -1,0 +1,278 @@
+"""The two-tier persistent walk cache: correctness under eviction,
+disk round-trips, and telemetry.
+
+The memory tier's LRU eviction replaced a wholesale ``clear()`` at
+capacity; the regression tests here prove an eviction (or a full
+churn past capacity) never changes any profile — an evicted walk is
+recomputed, bit-identically, because the walk is a pure function of
+geometry and stream content.
+"""
+
+import json
+from dataclasses import asdict
+
+import numpy as np
+import pytest
+
+from repro import obs, runtime
+from repro.config import MachineConfig
+from repro.runtime.cache import WalkStore
+from repro.sim.memsys import (
+    MemoryHierarchy,
+    WalkCache,
+    _decode_walk,
+    _encode_walk,
+    _walk_digest,
+    configure_walk_store,
+    llc_only_profile,
+    walk_cache,
+)
+from repro.sim.trace import AccessStream, KernelTrace
+
+
+def _trace(seed: int, n: int = 3000) -> KernelTrace:
+    rng = np.random.default_rng(seed)
+    return KernelTrace(name=f"t{seed}", streams=[
+        AccessStream(addresses=rng.integers(0, 1 << 20, n) * 8,
+                     elem_bytes=8, label="a"),
+        AccessStream(addresses=np.arange(n) * 8, elem_bytes=8,
+                     kind="write", label="b"),
+    ])
+
+
+def _profiles(trace: KernelTrace, machine: MachineConfig) -> list[dict]:
+    return [asdict(sp)
+            for sp in MemoryHierarchy(machine).profile(trace).streams]
+
+
+@pytest.fixture(autouse=True)
+def _isolated_walk_cache():
+    """Each test gets a cleared process cache with no disk tier."""
+    wc = walk_cache()
+    saved_store, saved_capacity = wc.store, wc.capacity
+    wc.clear()
+    wc.store = None
+    wc.hits = wc.disk_hits = wc.misses = wc.evictions = 0
+    try:
+        yield wc
+    finally:
+        wc.clear()
+        wc.store = saved_store
+        wc.capacity = saved_capacity
+
+
+class TestMemoryTierLRU:
+    def test_eviction_never_changes_results(self, _isolated_walk_cache):
+        """Regression for the old clear-all behaviour: churn 3x the
+        capacity through the cache, then recompute everything — every
+        profile must match its pre-eviction value even though the early
+        entries were evicted and re-simulated."""
+        wc = _isolated_walk_cache
+        wc.capacity = 4
+        machine = MachineConfig()
+        traces = [_trace(seed, n=800) for seed in range(12)]
+        first = [_profiles(t, machine) for t in traces]
+        assert len(wc) <= wc.capacity
+        assert wc.evictions > 0
+        second = [_profiles(t, machine) for t in traces]
+        assert first == second
+
+    def test_lru_keeps_recently_used(self, _isolated_walk_cache):
+        wc = _isolated_walk_cache
+        wc.capacity = 3
+        machine = MachineConfig()
+        hot = _trace(0, n=500)
+        _profiles(hot, machine)
+        for seed in range(1, 3):
+            _profiles(_trace(seed, n=500), machine)
+            _profiles(hot, machine)  # keep hot at the MRU end
+        hits_before = wc.hits
+        _profiles(_trace(3, n=500), machine)  # evicts an LRU entry
+        _profiles(hot, machine)
+        assert wc.hits > hits_before  # hot survived the eviction
+
+    def test_fingerprint_collision_is_verified(self, _isolated_walk_cache):
+        """A key collision must fall through to a miss, not serve the
+        colliding entry's value."""
+        wc = _isolated_walk_cache
+        a = [AccessStream(addresses=np.arange(10) * 64, elem_bytes=8)]
+        b = [AccessStream(addresses=np.arange(10)[::-1].copy() * 64,
+                          elem_bytes=8)]
+        wc.put(("k",), a, (["va"], [(1, 1)]))
+        assert wc.lookup(("k",), a) is not None
+        assert wc.lookup(("k",), b) is None
+        # both variants live under the same key afterwards
+        wc.put(("k",), b, (["vb"], [(2, 2)]))
+        assert wc.lookup(("k",), a)[0] == ["va"]
+        assert wc.lookup(("k",), b)[0] == ["vb"]
+
+
+class TestDiskTier:
+    def test_round_trip_and_promotion(self, tmp_path,
+                                      _isolated_walk_cache):
+        wc = _isolated_walk_cache
+        wc.store = WalkStore(tmp_path / "walks")
+        machine = MachineConfig()
+        trace = _trace(1)
+        first = _profiles(trace, machine)
+        assert len(wc.store) > 0
+        # fresh process: memory tier gone, disk tier intact
+        wc.clear()
+        wc.hits = wc.disk_hits = wc.misses = 0
+        assert _profiles(trace, machine) == first
+        assert wc.disk_hits == 1 and wc.misses == 0
+        # promoted: the next lookup hits memory
+        assert _profiles(trace, machine) == first
+        assert wc.hits >= 1
+
+    def test_warm_session_hit_rate_above_90pct(self, tmp_path,
+                                               _isolated_walk_cache):
+        """The acceptance demo: a second session over the same sweep
+        (memory tier cold, disk tier warm) must show > 90% walk-cache
+        hit rate in the published telemetry."""
+        wc = _isolated_walk_cache
+        wc.store = WalkStore(tmp_path / "walks")
+        machine = MachineConfig()
+        traces = [_trace(seed, n=600) for seed in range(12)]
+        for t in traces:
+            _profiles(t, machine)
+            llc_only_profile(machine, t.streams)
+        wc.clear()
+        wc.hits = wc.disk_hits = wc.misses = 0
+        with obs.capture() as registry:
+            for t in traces:
+                _profiles(t, machine)
+                llc_only_profile(machine, t.streams)
+        lookups = wc.hits + wc.disk_hits + wc.misses
+        assert (wc.hits + wc.disk_hits) / lookups > 0.9
+        gauges = registry.as_dict()["gauges"]
+        assert gauges["sim.memsys.walk_cache.hit_rate"]["value"] > 0.9
+
+    def test_corrupt_record_degrades_to_miss(self, tmp_path,
+                                             _isolated_walk_cache):
+        wc = _isolated_walk_cache
+        wc.store = WalkStore(tmp_path / "walks")
+        machine = MachineConfig()
+        trace = _trace(2)
+        first = _profiles(trace, machine)
+        for path in wc.store.root.glob("*.json"):
+            path.write_text("{not json", encoding="utf-8")
+        wc.clear()
+        assert _profiles(trace, machine) == first  # re-simulated
+        assert wc.disk_hits == 0
+
+    def test_schema_mismatch_misses(self, tmp_path):
+        store = WalkStore(tmp_path / "walks")
+        digest = "ab" * 32
+        store.save(digest, {"schema": "repro.walk/0", "profiles": [],
+                            "levels": []})
+        payload, _ = store.load(digest)
+        assert _decode_walk(payload) is None
+
+    def test_encode_decode_round_trip(self):
+        from repro.sim.memsys import StreamProfile
+
+        value = ([StreamProfile(label="x", kind="read", dependent=False,
+                                accesses=10, l1_hits=4)],
+                 [(10, 4), (6, 2), (4, 1)])
+        decoded = _decode_walk(
+            json.loads(json.dumps(_encode_walk(value))))
+        assert decoded == value
+
+    def test_digest_sensitive_to_content(self):
+        a = [AccessStream(addresses=np.arange(100) * 64, elem_bytes=8)]
+        b = [AccessStream(addresses=np.arange(100) * 64 + 64,
+                          elem_bytes=8)]
+        assert _walk_digest(("k",), a) != _walk_digest(("k",), b)
+        assert _walk_digest(("k",), a) != _walk_digest(("k2",), a)
+        assert _walk_digest(("k",), a) == _walk_digest(("k",), [
+            AccessStream(addresses=np.arange(100) * 64, elem_bytes=8)])
+
+    def test_gc_reclaims_corrupt_and_temp(self, tmp_path):
+        store = WalkStore(tmp_path / "walks")
+        store.save("aa" * 32, {"schema": "repro.walk/1", "profiles": [],
+                               "levels": []})
+        (store.root / "bb.json").write_text("{", encoding="utf-8")
+        (store.root / "cc.json.tmp.1.2").write_text("", encoding="utf-8")
+        assert store.gc() == 2
+        assert len(store) == 1
+
+
+class TestRuntimeWiring:
+    def test_configure_installs_beside_result_cache(self, tmp_path):
+        saved = walk_cache().store
+        try:
+            runtime.configure(cache_dir=tmp_path / "cache")
+            store = walk_cache().store
+            assert store is not None
+            assert store.root == tmp_path / "cache" / "walks"
+            runtime.configure(cache_dir=None)  # auto + no cache -> off
+            assert walk_cache().store is None
+            runtime.configure(cache_dir=None,
+                              walk_cache=tmp_path / "elsewhere")
+            assert walk_cache().store.root == tmp_path / "elsewhere"
+            runtime.configure(cache_dir=tmp_path / "cache",
+                              walk_cache="off")
+            assert walk_cache().store is None
+        finally:
+            runtime.reset()
+            configure_walk_store(saved)
+
+    def test_env_override(self, tmp_path, monkeypatch):
+        saved = walk_cache().store
+        try:
+            monkeypatch.setenv("REPRO_WALK_CACHE", "off")
+            runtime.configure(cache_dir=tmp_path / "cache")
+            assert walk_cache().store is None
+            monkeypatch.setenv("REPRO_WALK_CACHE",
+                               str(tmp_path / "pinned"))
+            runtime.configure(cache_dir=None)
+            assert walk_cache().store.root == tmp_path / "pinned"
+        finally:
+            runtime.reset()
+            configure_walk_store(saved)
+
+    def test_worker_entry_installs_store(self, tmp_path):
+        from repro.runtime.executor import _install_walk_store
+
+        saved = walk_cache().store
+        try:
+            configure_walk_store(None)
+            _install_walk_store(None)
+            assert walk_cache().store is None
+            _install_walk_store(str(tmp_path / "w"))
+            first = walk_cache().store
+            assert first is not None
+            _install_walk_store(str(tmp_path / "w"))  # idempotent
+            assert walk_cache().store is first
+        finally:
+            configure_walk_store(saved)
+
+
+def test_walk_cache_telemetry_counters(_isolated_walk_cache, tmp_path):
+    wc = _isolated_walk_cache
+    wc.store = WalkStore(tmp_path / "walks")
+    machine = MachineConfig()
+    trace = _trace(5, n=400)
+    with obs.capture() as registry:
+        _profiles(trace, machine)   # miss + store
+        _profiles(trace, machine)   # memory hit
+        wc.clear()
+        _profiles(trace, machine)   # disk hit
+    counters = registry.as_dict()["counters"]
+    pre = "sim.memsys.walk_cache."
+    assert counters[pre + "misses"] == 1
+    assert counters[pre + "mem_hits"] == 1
+    assert counters[pre + "disk_hits"] == 1
+    assert counters[pre + "stores"] == 1
+    assert counters[pre + "disk_bytes_written"] > 0
+    assert counters[pre + "disk_bytes_read"] > 0
+
+
+def test_walk_cache_capacity_type():
+    wc = WalkCache(capacity=2)
+    for i in range(5):
+        wc.put((i,), [AccessStream(addresses=np.arange(4) * 64,
+                                   elem_bytes=8)], ([], [(0, 0)]))
+    assert len(wc) <= 2
+    assert wc.evictions >= 3
